@@ -1,0 +1,19 @@
+# Convenience targets for the SDEA reproduction.
+
+.PHONY: install test bench report clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.cli report --results benchmarks/results --out EXPERIMENTS.md
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

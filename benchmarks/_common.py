@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table or analysis of the paper on the
+generated datasets, prints it, and appends it to
+``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves a complete results dossier behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.experiments import ExperimentResult, paper_reference
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    with open(RESULTS_DIR / f"{name}.txt", "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def comparison_block(table: str, dataset: str,
+                     results: Sequence[ExperimentResult]) -> str:
+    """Render measured vs paper-reported rows for one dataset."""
+    lines: List[str] = [
+        f"{'Method':<12} {'H@1':>6} {'H@10':>6} {'MRR':>6}   "
+        f"{'paper H@1':>9} {'paper H@10':>10} {'paper MRR':>9}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for result in results:
+        reference = paper_reference(table, dataset, result.method)
+        if reference:
+            ref_fmt = (
+                f"{_fmt(reference[0]):>9} {_fmt(reference[1]):>10} "
+                f"{_fmt(reference[2], 2):>9}"
+            )
+        else:
+            ref_fmt = f"{'-':>9} {'-':>10} {'-':>9}"
+        lines.append(
+            f"{result.method:<12} {100 * result.hits_at_1:>6.1f} "
+            f"{100 * result.hits_at_10:>6.1f} {result.mrr:>6.2f}   {ref_fmt}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value, decimals: int = 1) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{decimals}f}"

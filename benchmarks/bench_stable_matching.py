@@ -1,0 +1,37 @@
+"""Section V-B1 — the stable-matching boost.
+
+The paper notes that CEA's Gale-Shapley post-processing "can be applied
+to all embedding methods": applying it to SDEA lifts JA-EN Hits@1 from
+84.8 to 89.8, overtaking CEA's 86.3.  This bench reproduces the
+experiment on the JA-EN-like pair.
+"""
+
+from _common import write_result
+
+from repro.datasets import build_dataset
+from repro.experiments import run_experiment
+
+
+def bench_stable_matching_boost(benchmark):
+    pair = build_dataset("dbp15k/ja_en")
+    split = pair.split()
+
+    def run():
+        sdea = run_experiment("sdea", pair, split, with_stable_matching=True)
+        cea = run_experiment("cea", pair, split, with_stable_matching=True)
+        return sdea, cea
+
+    sdea, cea = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        f"{'Method':<18} {'H@1':>6} {'stable H@1':>11}\n"
+        f"{'-' * 37}\n"
+        f"{'sdea':<18} {100 * sdea.hits_at_1:>6.1f} "
+        f"{100 * sdea.stable_hits_at_1:>11.1f}\n"
+        f"{'cea':<18} {100 * cea.hits_at_1:>6.1f} "
+        f"{100 * cea.stable_hits_at_1:>11.1f}\n\n"
+        f"paper: SDEA 84.8 -> 89.8 with stable matching, vs CEA 86.3"
+    )
+    write_result("stable_matching_boost", text)
+
+    # Stable matching must not hurt, and usually helps.
+    assert sdea.stable_hits_at_1 >= sdea.hits_at_1 - 0.02

@@ -1,0 +1,25 @@
+"""Table I — statistics of the generated benchmark analogues.
+
+Regenerates every dataset in the registry and reports entity / relation /
+attribute / triple counts, the analogue of the paper's Table I.  Absolute
+counts are CPU-bench scale (hundreds of entities, not 15K/100K); what
+must match is the *relative* structure: DBP15K-like pairs are dense and
+attribute-rich, SRPRS-like are sparse, OpenEA D-W-like are sparse with a
+numeric-heavy Wikidata side.
+"""
+
+from _common import write_result
+
+from repro.experiments import build_pairs, format_dataset_stats_table
+from repro.experiments.suites import ALL_DATASETS
+
+
+def bench_table1_dataset_stats(benchmark):
+    pairs = benchmark.pedantic(
+        lambda: build_pairs(ALL_DATASETS), rounds=1, iterations=1
+    )
+    text = format_dataset_stats_table(pairs)
+    write_result("table1_dataset_stats", text)
+    for pair in pairs.values():
+        assert pair.kg1.num_entities > 0
+        assert len(pair.links) > 0

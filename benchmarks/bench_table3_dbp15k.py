@@ -1,0 +1,38 @@
+"""Table III — overall results on the DBP15K-like benchmark.
+
+One representative per baseline family plus SDEA and its ablation, on
+the three generated cross-lingual pairs.  Expected shape (per the paper):
+
+* SDEA tops ZH-EN and JA-EN; BERT-INT is only competitive on FR-EN,
+  where names are literally similar;
+* literal-aware methods (CEA, BERT-INT, SDEA) ≫ structure-only families
+  (TransE, GCN, GAT, paths);
+* SDEA w/o rel. trails full SDEA.
+"""
+
+import pytest
+from _common import comparison_block, write_result
+
+from repro.datasets import build_dataset
+from repro.experiments import run_suite
+from repro.experiments.suites import FULL_METHODS, TABLE3_DATASETS
+
+
+@pytest.mark.parametrize("dataset", TABLE3_DATASETS)
+def bench_table3_dbp15k(benchmark, dataset):
+    pair = build_dataset(dataset)
+    split = pair.split()
+
+    results = benchmark.pedantic(
+        lambda: run_suite(FULL_METHODS, pair, split),
+        rounds=1, iterations=1,
+    )
+    short = dataset.split("/")[-1]
+    write_result(f"table3_{short}", comparison_block("table3", short, results))
+
+    by_method = {r.method: r for r in results}
+    # Shape assertions (who wins, not absolute numbers):
+    assert by_method["sdea"].hits_at_1 >= by_method["sdea-norel"].hits_at_1 - 0.02
+    assert by_method["sdea"].hits_at_1 > by_method["gcn-align"].hits_at_1
+    assert by_method["sdea"].hits_at_1 > by_method["mtranse"].hits_at_1
+    assert by_method["jape-stru"].hits_at_1 >= by_method["mtranse"].hits_at_1 - 0.05

@@ -1,0 +1,75 @@
+"""Build a custom benchmark with the generator API and align it.
+
+Shows the full knob surface of `WorldConfig` / `ViewConfig`: a bespoke
+world, one dense well-described KG vs one sparse opaque-name KG (a
+harder-than-D-W setting), OpenEA-format export, and an SDEA run — the
+workflow a user follows to stress-test alignment under their own data
+assumptions.
+
+Run:
+    python examples/custom_dataset.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import SDEA, SDEAConfig
+from repro.datasets import ViewConfig, WorldConfig, generate_pair
+from repro.datasets.translation import Language
+from repro.kg import load_graph, load_links, save_graph, save_links, KGPair
+
+
+def build_custom_pair():
+    """One rich KG vs one sparse, opaque-name, comment-only KG."""
+    world = WorldConfig(
+        n_persons=120, n_places=45, n_clubs=25, n_countries=10,
+        extra_person_links=1, comment_sentences=3, seed=2024,
+    )
+    rich_side = ViewConfig(
+        side=1, rel_keep_prob=0.7, attr_keep_prob=0.95,
+        name_style="plain", comment_prob=0.8, seed=1,
+    )
+    hard_side = ViewConfig(
+        side=2, language=Language("xq"), rel_keep_prob=0.35,
+        edge_phase=0.35,                 # little cross-KG triple overlap
+        attr_keep_prob=0.6, name_style="id",  # opaque Q-ids
+        comment_prob=0.7, fold_longtail_prob=0.6,
+        numeric_extra_prob=0.5, type_edges=False, seed=2,
+    )
+    return generate_pair(world, rich_side, hard_side, name="custom-hard")
+
+
+def main() -> None:
+    pair = build_custom_pair()
+    print(f"built {pair.name}: {pair.kg1.summary()} vs {pair.kg2.summary()}")
+    print(f"links: {len(pair.links)}, matching-neighbor fraction: "
+          f"{pair.matched_neighbor_fraction():.2%}")
+
+    # Round-trip through the OpenEA file format (what `repro export` does).
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp)
+        save_graph(pair.kg1, out / "rel_triples_1", out / "attr_triples_1")
+        save_graph(pair.kg2, out / "rel_triples_2", out / "attr_triples_2")
+        save_links(
+            [(pair.kg1.entity_uri(a), pair.kg2.entity_uri(b))
+             for a, b in pair.links],
+            out / "ent_links",
+        )
+        kg1 = load_graph(out / "rel_triples_1", out / "attr_triples_1")
+        kg2 = load_graph(out / "rel_triples_2", out / "attr_triples_2")
+        reloaded = KGPair.from_uri_links(kg1, kg2,
+                                         load_links(out / "ent_links"))
+        print(f"OpenEA-format round trip: {len(reloaded.links)} links intact")
+
+    split = pair.split()
+    print(f"\nTraining SDEA with the numeric channel "
+          f"(train/valid/test = {len(split.train)}/{len(split.valid)}/"
+          f"{len(split.test)}) ...")
+    model = SDEA(SDEAConfig(numeric_channel=True))
+    model.fit(pair, split)
+    result = model.evaluate(split.test, with_stable_matching=True)
+    print(f"  {result}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Knowledge-base integration: the paper's motivating application.
+
+Section I motivates entity alignment as "a major step of knowledge base
+integration".  This example runs the full pipeline on two OpenEA-like KGs
+(DBpedia-style names vs opaque Wikidata Q-ids — the hard case where
+name-matching methods fail):
+
+1. train SDEA on the seed alignment,
+2. predict a 1-1 matching over ALL unlabelled entities with Gale-Shapley
+   stable matching on the embedding similarities,
+3. merge the two KGs into one integrated knowledge base, fusing matched
+   entities and unioning their triples,
+4. report integration statistics and precision of the predicted matches.
+
+Run:
+    python examples/knowledge_base_integration.py
+"""
+
+import numpy as np
+
+from repro import SDEA, SDEAConfig, build_dataset
+from repro.align import cosine_similarity_matrix, stable_matching
+from repro.kg import KnowledgeGraph
+
+
+def integrate(pair, matching, kg2_to_kg1_uri):
+    """Merge kg2 into kg1, fusing matched entities."""
+    merged = KnowledgeGraph(name="integrated")
+    for head, relation, tail in pair.kg1.rel_triples:
+        merged.add_rel_triple(
+            pair.kg1.entity_uri(head), pair.kg1.relation_name(relation),
+            pair.kg1.entity_uri(tail),
+        )
+    for entity, attribute, value in pair.kg1.attr_triples:
+        merged.add_attr_triple(
+            pair.kg1.entity_uri(entity), pair.kg1.attribute_name(attribute),
+            value,
+        )
+
+    def uri2(entity_id: int) -> str:
+        return kg2_to_kg1_uri.get(entity_id, pair.kg2.entity_uri(entity_id))
+
+    for head, relation, tail in pair.kg2.rel_triples:
+        merged.add_rel_triple(
+            uri2(head), pair.kg2.relation_name(relation), uri2(tail)
+        )
+    for entity, attribute, value in pair.kg2.attr_triples:
+        merged.add_attr_triple(
+            uri2(entity), pair.kg2.attribute_name(attribute), value
+        )
+    return merged
+
+
+def main() -> None:
+    print("Building an OpenEA D-W-like dataset (opaque Wikidata names) ...")
+    pair = build_dataset("openea/d_w_15k_v1")
+    split = pair.split()
+
+    print("Training SDEA ...")
+    model = SDEA(SDEAConfig())
+    model.fit(pair, split)
+
+    print("Predicting alignment for all non-seed entities ...")
+    emb1 = model.embeddings(1)
+    emb2 = model.embeddings(2)
+    seeds = set(split.train) | set(split.valid)
+    seeded1 = {a for a, _ in seeds}
+    seeded2 = {b for _, b in seeds}
+    free1 = np.array([e for e in pair.kg1.entities() if e not in seeded1])
+    free2 = np.array([e for e in pair.kg2.entities() if e not in seeded2])
+    similarity = cosine_similarity_matrix(emb1[free1], emb2[free2])
+    assignment = stable_matching(similarity)
+
+    truth = dict(pair.links)
+    predicted = {int(free1[i]): int(free2[j]) for i, j in assignment.items()}
+    correct = sum(1 for a, b in predicted.items() if truth.get(a) == b)
+    evaluable = sum(1 for a in predicted if a in truth)
+    print(f"  matched {len(predicted)} entity pairs; "
+          f"precision on linkable entities: {correct / max(evaluable, 1):.2%}")
+
+    print("Merging the two KGs ...")
+    kg2_to_kg1_uri = {
+        b: pair.kg1.entity_uri(a)
+        for a, b in list(seeds) + list(predicted.items())
+    }
+    merged = integrate(pair, predicted, kg2_to_kg1_uri)
+    total_before = pair.kg1.num_entities + pair.kg2.num_entities
+    print(f"  entities before integration: {total_before}")
+    print(f"  entities after  integration: {merged.num_entities} "
+          f"({total_before - merged.num_entities} fused)")
+    print(f"  integrated KB: {merged.summary()}")
+
+
+if __name__ == "__main__":
+    main()

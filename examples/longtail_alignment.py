@@ -1,0 +1,96 @@
+"""Long-tail entity alignment — the paper's Fig. 2 scenario, by hand.
+
+Recreates the ⟨F.W._Bruskewitz⟩ / ⟨Fabian_Bruskewitz⟩ example: one KG
+describes the entity with structured attributes (name, workPlace,
+nationality), the other holds only a single long ``comment`` whose text
+mentions the same facts.  There are no matching attributes and almost no
+matching neighbors, so string- and structure-based methods have nothing
+to grip — SDEA's attribute module must find the semantic association
+inside the comment.
+
+The script trains SDEA and a Levenshtein baseline on the same seeds and
+compares how they rank the long-tail pair; it also prints the relation
+module's attention weights, showing specific-concept neighbors getting
+more weight than general-concept hubs.
+
+Run:
+    python examples/longtail_alignment.py
+"""
+
+import numpy as np
+
+from repro.baselines.cea import levenshtein_similarity_matrix
+from repro.core import SDEA, SDEAConfig
+from repro.core.relation_module import NeighborIndex
+from repro.core.trainer import gather_neighbor_embeddings
+from repro.datasets import ViewConfig, WorldConfig, generate_pair
+from repro.kg.sequences import build_sequences
+
+
+def build_fig2_like_pair():
+    """A pair where one side folds long-tail entities into comments."""
+    world = WorldConfig(n_persons=50, n_places=20, n_clubs=10,
+                        n_countries=6, extra_person_links=0, seed=42)
+    # Side 1 keeps short structured attributes ("F.W._Bruskewitz" style
+    # abbreviations included); side 2's long-tail entities keep ONLY the
+    # long comment (Fig. 2's single-attribute case).
+    view1 = ViewConfig(side=1, rel_keep_prob=0.4, comment_prob=0.2,
+                       fold_longtail_prob=0.0, name_style="noisy",
+                       type_edges=True, seed=43)
+    view2 = ViewConfig(side=2, rel_keep_prob=0.4, comment_prob=0.9,
+                       fold_longtail_prob=1.0, type_edges=True, seed=44)
+    return generate_pair(world, view1, view2, name="fig2-like")
+
+
+def main() -> None:
+    pair = build_fig2_like_pair()
+    split = pair.split()
+
+    # find test pairs whose kg2 side is long-tail (degree <= 3)
+    longtail_test = [
+        (a, b) for a, b in split.test if 1 <= pair.kg2.degree(b) <= 3
+    ]
+    print(f"{len(longtail_test)} of {len(split.test)} test pairs are "
+          f"long-tail on the comment-only side")
+
+    print("\nTraining SDEA ...")
+    model = SDEA(SDEAConfig())
+    model.fit(pair, split)
+    sdea_result = model.evaluate(longtail_test)
+    print(f"SDEA on long-tail pairs:        {sdea_result.metrics}")
+
+    # "Simple similarity measure" baseline (paper Section II-B2): plain
+    # Levenshtein over the concatenated attribute values.  The folded
+    # entities' one long comment shares almost no edit-distance structure
+    # with the other side's short structured values.
+    import numpy as np
+    seqs1 = build_sequences(pair.kg1, np.random.default_rng(1))
+    seqs2 = build_sequences(pair.kg2, np.random.default_rng(2))
+    texts1 = [seqs1[a][:120] for a, _ in longtail_test]
+    texts2 = [seqs2[b][:120] for _, b in longtail_test]
+    sim = levenshtein_similarity_matrix(texts1, texts2)
+    from repro.align import evaluate_similarity
+    lev_metrics = evaluate_similarity(sim, np.arange(len(longtail_test)))
+    print(f"Levenshtein-on-attributes:      {lev_metrics}")
+
+    # Peek at the relation module's attention: specific vs general concepts
+    print("\nNeighbor attention weights (one sample entity):")
+    relation_model = model.relation_model
+    sample = next(
+        a for a, _ in split.test if pair.kg1.degree(a) >= 3
+    )
+    index: NeighborIndex = relation_model.neighbors1
+    ids, mask, lengths = index.batch([sample])
+    x = gather_neighbor_embeddings(relation_model.attr1, ids)
+    _, alpha = relation_model.relation_module(
+        x, mask, lengths, return_weights=True
+    )
+    print(f"  entity: {pair.kg1.entity_uri(sample).rsplit('/', 1)[-1]}")
+    for slot in range(int(lengths[0])):
+        neighbor = int(ids[0, slot])
+        uri = pair.kg1.entity_uri(neighbor).rsplit("/", 1)[-1]
+        print(f"    {uri:<28} weight = {alpha.data[0, slot]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package needed by PEP-517
+editable installs; ``python setup.py develop`` (invoked automatically by
+``pip install -e .`` on legacy paths) works without it.  All metadata
+lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

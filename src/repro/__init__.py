@@ -1,0 +1,28 @@
+"""SDEA reproduction — Semantics Driven Embedding Learning for Entity Alignment.
+
+Reproduces Zhong et al., ICDE 2022, end to end on a from-scratch numpy
+stack.  Top-level convenience re-exports::
+
+    from repro import SDEA, SDEAConfig, build_dataset
+
+    pair = build_dataset("dbp15k/zh_en")
+    split = pair.split()
+    model = SDEA(SDEAConfig())
+    model.fit(pair, split)
+    print(model.evaluate(split.test).metrics)
+"""
+
+from .align import AlignmentMetrics, EvaluationResult, evaluate_embeddings
+from .core import SDEA, SDEAConfig
+from .datasets import available_datasets, build_dataset
+from .kg import KGPair, KnowledgeGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SDEA", "SDEAConfig",
+    "build_dataset", "available_datasets",
+    "KnowledgeGraph", "KGPair",
+    "AlignmentMetrics", "EvaluationResult", "evaluate_embeddings",
+    "__version__",
+]

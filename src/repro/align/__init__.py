@@ -1,0 +1,36 @@
+"""Alignment inference and evaluation: similarity, matching, metrics."""
+
+from .blocking import BlockingReport, blocking_report, token_blocking
+from .evaluator import (
+    EvaluationResult,
+    evaluate_by_degree_bucket,
+    evaluate_embeddings,
+    similarity_for_links,
+)
+from .matching import greedy_matching, is_stable, stable_matching
+from .metrics import (
+    AlignmentMetrics,
+    bootstrap_confidence_interval,
+    evaluate_similarity,
+    hits_at_1_from_assignment,
+    metrics_from_ranks,
+)
+from .similarity import (
+    cosine_similarity_matrix,
+    csls_similarity_matrix,
+    euclidean_distance_matrix,
+    rank_of_target,
+    topk_indices,
+)
+
+__all__ = [
+    "cosine_similarity_matrix", "csls_similarity_matrix",
+    "euclidean_distance_matrix",
+    "topk_indices", "rank_of_target",
+    "AlignmentMetrics", "metrics_from_ranks", "evaluate_similarity",
+    "hits_at_1_from_assignment", "bootstrap_confidence_interval",
+    "greedy_matching", "stable_matching", "is_stable",
+    "EvaluationResult", "evaluate_embeddings", "similarity_for_links",
+    "evaluate_by_degree_bucket",
+    "token_blocking", "blocking_report", "BlockingReport",
+]

@@ -1,0 +1,95 @@
+"""Hard 1-1 matching algorithms over a similarity matrix.
+
+The paper observes that the Gale–Shapley stable-matching post-step used by
+CEA "can be applied to all embedding methods to boost the performance of
+1-1 alignment" (it lifts SDEA's JA-EN Hits@1 from 84.8 to 89.8).  Both
+greedy and stable matching are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def greedy_matching(similarity: np.ndarray) -> Dict[int, int]:
+    """Globally-greedy 1-1 assignment.
+
+    Repeatedly takes the highest remaining similarity cell whose row and
+    column are both unassigned.  O(nm log nm).
+    """
+    n, m = similarity.shape
+    order = np.argsort(-similarity, axis=None, kind="stable")
+    rows_taken = np.zeros(n, dtype=bool)
+    cols_taken = np.zeros(m, dtype=bool)
+    assignment: Dict[int, int] = {}
+    limit = min(n, m)
+    for flat in order:
+        row, col = divmod(int(flat), m)
+        if rows_taken[row] or cols_taken[col]:
+            continue
+        assignment[row] = col
+        rows_taken[row] = True
+        cols_taken[col] = True
+        if len(assignment) == limit:
+            break
+    return assignment
+
+
+def stable_matching(similarity: np.ndarray) -> Dict[int, int]:
+    """Gale–Shapley deferred acceptance (rows propose).
+
+    Produces a matching with no blocking pair: no (row, col) both prefer
+    each other over their assigned partners.  Rows beyond ``min(n, m)``
+    may stay unmatched when the matrix is rectangular.
+    """
+    n, m = similarity.shape
+    # Preference lists: columns sorted by descending similarity per row.
+    preferences = np.argsort(-similarity, axis=1, kind="stable")
+    next_choice = np.zeros(n, dtype=int)
+    col_partner = np.full(m, -1, dtype=int)
+    # All rows propose; when n > m the surplus rows exhaust their lists
+    # and stay unmatched.
+    free_rows = list(range(n))
+
+    while free_rows:
+        row = free_rows.pop()
+        while next_choice[row] < m:
+            col = int(preferences[row, next_choice[row]])
+            next_choice[row] += 1
+            current = col_partner[col]
+            if current == -1:
+                col_partner[col] = row
+                break
+            if similarity[row, col] > similarity[current, col]:
+                col_partner[col] = row
+                free_rows.append(current)
+                break
+        # else: row exhausted its list and stays unmatched
+    return {
+        int(row): int(col)
+        for col, row in enumerate(col_partner)
+        if row != -1
+    }
+
+
+def is_stable(similarity: np.ndarray, assignment: Dict[int, int]) -> bool:
+    """Check the no-blocking-pair property of an assignment."""
+    n, m = similarity.shape
+    row_of_col = {col: row for row, col in assignment.items()}
+    for row in range(n):
+        assigned_col = assignment.get(row)
+        row_score = similarity[row, assigned_col] if assigned_col is not None else -np.inf
+        for col in range(m):
+            if col == assigned_col:
+                continue
+            if similarity[row, col] <= row_score:
+                continue
+            partner = row_of_col.get(col)
+            partner_score = (
+                similarity[partner, col] if partner is not None else -np.inf
+            )
+            if similarity[row, col] > partner_score:
+                return False
+    return True

@@ -1,0 +1,40 @@
+"""Baseline entity-alignment methods — one per technique family of Table II."""
+
+from .base import Aligner, adjacency_matrix, links_arrays
+from .bert_int import BertInt, BertIntConfig
+from .bootea import BootEA, BootEAConfig
+from .cea import (
+    CEA,
+    CEAConfig,
+    char_ngram_embedding,
+    entity_display_name,
+    levenshtein,
+    levenshtein_similarity_matrix,
+)
+from .gat import GATAlign, GATAlignConfig
+from .gcn import GCN, GCNAlign, GCNAlignConfig
+from .hman import HMAN, HMANConfig
+from .jape import JAPE, JAPEConfig, attribute_embeddings
+from .kecg import KECG, KECGConfig
+from .rdgcn import HGCN, RDGCN, RDGCNConfig, name_features
+from .registry import available_baselines, make_baseline
+from .rsn import RSNConfig, RSNLite, random_walks
+from .transe import JAPEStru, MTransE, TransEAligner, TransEConfig
+from .transe_variants import IPTransE, NAEA, TransEdge, VariantConfig
+
+__all__ = [
+    "Aligner", "adjacency_matrix", "links_arrays",
+    "TransEAligner", "TransEConfig", "MTransE", "JAPEStru",
+    "JAPE", "JAPEConfig", "attribute_embeddings",
+    "BootEA", "BootEAConfig",
+    "RSNLite", "RSNConfig", "random_walks",
+    "GCN", "GCNAlign", "GCNAlignConfig",
+    "GATAlign", "GATAlignConfig",
+    "KECG", "KECGConfig", "HMAN", "HMANConfig",
+    "RDGCN", "HGCN", "RDGCNConfig", "name_features",
+    "NAEA", "TransEdge", "IPTransE", "VariantConfig",
+    "CEA", "CEAConfig", "entity_display_name", "char_ngram_embedding",
+    "levenshtein", "levenshtein_similarity_matrix",
+    "BertInt", "BertIntConfig",
+    "available_baselines", "make_baseline",
+]

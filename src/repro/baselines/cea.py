@@ -1,0 +1,190 @@
+"""CEA — Collective Entity Alignment via adaptive features (Zeng et al., ICDE 2020).
+
+CEA fuses three similarity channels over entity pairs:
+
+* **structural** — graph embeddings (we reuse the GCN encoder),
+* **semantic**  — name embeddings (original: fastText/MUSE; here a
+  character-n-gram hashing embedding of entity names, which captures the
+  same literal-similarity signal),
+* **string**    — normalised Levenshtein similarity of names,
+
+then applies Gale–Shapley **stable matching** on the fused matrix for the
+final 1-1 assignment.  ``CEA (Emb)`` ranks directly by the fused matrix
+(no matching), which is what the paper's tables report for H@10/MRR.
+
+Because two channels depend entirely on entity *names*, CEA collapses on
+OpenEA D-W where one side's names are opaque Wikidata IDs (Table V:
+Hits@1 = 19.0 / 44.5 against SDEA's 65.1 / 57.1).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..align.evaluator import EvaluationResult
+from ..align.matching import stable_matching
+from ..align.metrics import evaluate_similarity, hits_at_1_from_assignment
+from ..align.similarity import cosine_similarity_matrix
+from ..kg.graph import KnowledgeGraph
+from ..kg.pair import AlignmentSplit, KGPair, Link
+from .base import Aligner
+from .gcn import GCN, GCNAlignConfig
+
+_NAME_ATTRS = ("name", "label", "rdfs:label")
+
+
+def entity_display_name(graph: KnowledgeGraph, entity_id: int) -> str:
+    """Best-effort entity name: a name-like attribute, else the URI tail."""
+    for attr_id, value in graph.attributes_of(entity_id):
+        if graph.attribute_name(attr_id).lower() in _NAME_ATTRS:
+            return str(value)
+    uri = graph.entity_uri(entity_id)
+    return uri.rsplit("/", 1)[-1].replace("_", " ")
+
+
+def char_ngram_embedding(names: Sequence[str], dim: int = 256,
+                         n: int = 3) -> np.ndarray:
+    """Hashed character-n-gram count vectors, L2-normalised per row.
+
+    Uses CRC32 so the hashing is stable across processes (builtin ``hash``
+    is salted per interpreter run).
+    """
+    matrix = np.zeros((len(names), dim))
+    for row, name in enumerate(names):
+        text = f"#{str(name).lower()}#"
+        for start in range(max(len(text) - n + 1, 1)):
+            gram = text[start:start + n]
+            matrix[row, zlib.crc32(gram.encode("utf-8")) % dim] += 1.0
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, 1e-12)
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (two-row DP)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(min(
+                previous[j] + 1,       # deletion
+                current[j - 1] + 1,    # insertion
+                previous[j - 1] + cost,  # substitution
+            ))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity_matrix(names1: Sequence[str],
+                                  names2: Sequence[str]) -> np.ndarray:
+    """``1 - lev(a, b) / max(len)`` for every name pair."""
+    matrix = np.empty((len(names1), len(names2)))
+    lowered2 = [str(b).lower() for b in names2]
+    for i, raw_a in enumerate(names1):
+        a = str(raw_a).lower()
+        for j, b in enumerate(lowered2):
+            denominator = max(len(a), len(b), 1)
+            matrix[i, j] = 1.0 - levenshtein(a, b) / denominator
+    return matrix
+
+
+@dataclass
+class CEAConfig:
+    """Channel weights and the underlying structural encoder settings."""
+
+    struct: GCNAlignConfig = None
+    weight_struct: float = 0.3
+    weight_semantic: float = 0.4
+    weight_string: float = 0.3
+    ngram_dim: int = 256
+    seed: int = 43
+
+    def __post_init__(self):
+        if self.struct is None:
+            self.struct = GCNAlignConfig(epochs=40, use_attributes=False)
+
+
+class CEA(Aligner):
+    """Collective entity aligner with fused features + stable matching.
+
+    ``evaluate`` ranks by the fused similarity matrix (the CEA (Emb)
+    protocol) and reports stable-matching Hits@1 when requested (the full
+    CEA protocol).
+    """
+
+    name = "cea"
+
+    def __init__(self, config: Optional[CEAConfig] = None):
+        self.config = config or CEAConfig()
+        self._struct = GCN(self.config.struct)
+        self._pair: Optional[KGPair] = None
+        self._names1: List[str] = []
+        self._names2: List[str] = []
+        self._ngram1: Optional[np.ndarray] = None
+        self._ngram2: Optional[np.ndarray] = None
+
+    def fit(self, pair: KGPair, split: Optional[AlignmentSplit] = None) -> None:
+        split = split or pair.split()
+        self._pair = pair
+        self._struct.fit(pair, split)
+        self._names1 = [
+            entity_display_name(pair.kg1, e) for e in pair.kg1.entities()
+        ]
+        self._names2 = [
+            entity_display_name(pair.kg2, e) for e in pair.kg2.entities()
+        ]
+        self._ngram1 = char_ngram_embedding(self._names1, self.config.ngram_dim)
+        self._ngram2 = char_ngram_embedding(self._names2, self.config.ngram_dim)
+
+    def embeddings(self, side: int) -> np.ndarray:
+        """The embeddable channels only ([struct; n-gram]); the string
+        channel exists only pairwise — use :meth:`evaluate` for full CEA."""
+        struct = self._struct.embeddings(side)
+        ngram = self._ngram1 if side == 1 else self._ngram2
+        if ngram is None:
+            raise RuntimeError("fit() must be called first")
+        return np.concatenate([struct, ngram], axis=1)
+
+    def fused_similarity(self, links: Sequence[Link]) -> np.ndarray:
+        """Fused similarity over the test sources × test targets grid."""
+        if self._pair is None or self._ngram1 is None or self._ngram2 is None:
+            raise RuntimeError("fit() must be called first")
+        links = list(links)
+        src = np.array([a for a, _ in links], dtype=int)
+        tgt = np.array([b for _, b in links], dtype=int)
+        config = self.config
+        struct_sim = cosine_similarity_matrix(
+            self._struct.embeddings(1)[src], self._struct.embeddings(2)[tgt]
+        )
+        semantic_sim = cosine_similarity_matrix(
+            self._ngram1[src], self._ngram2[tgt]
+        )
+        string_sim = levenshtein_similarity_matrix(
+            [self._names1[i] for i in src], [self._names2[j] for j in tgt]
+        )
+        return (
+            config.weight_struct * struct_sim
+            + config.weight_semantic * semantic_sim
+            + config.weight_string * string_sim
+        )
+
+    def evaluate(self, links: Sequence[Link],
+                 with_stable_matching: bool = False) -> EvaluationResult:
+        similarity = self.fused_similarity(links)
+        targets = np.arange(similarity.shape[0])
+        metrics = evaluate_similarity(similarity, targets)
+        stable = None
+        if with_stable_matching:
+            assignment = stable_matching(similarity)
+            stable = hits_at_1_from_assignment(assignment, targets)
+        return EvaluationResult(metrics=metrics, stable_hits_at_1=stable)

@@ -1,0 +1,136 @@
+"""HMAN-lite — multi-aspect alignment (Yang et al., EMNLP/IJCNLP 2019).
+
+HMAN concatenates three aspects per entity: a GCN over topology, an FNN
+over the entity's *relation-name* profile, and an FNN over its
+*attribute-name* profile.  (Entity descriptions, HMAN's fourth aspect,
+are unavailable in all of the paper's benchmarks, so — exactly as in the
+paper's experiments — only the three structural/symbolic aspects are
+used.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..kg.graph import KnowledgeGraph
+from ..kg.pair import AlignmentSplit, KGPair
+from ..nn import Adam, Linear, Parameter, Tensor, no_grad
+from ..nn import functional as F
+from .base import Aligner, adjacency_matrix, links_arrays
+
+
+@dataclass
+class HMANConfig:
+    """Hyper-parameters for HMAN-lite."""
+
+    dim: int = 48
+    profile_dim: int = 24
+    epochs: int = 120
+    lr: float = 5e-3
+    margin: float = 1.0
+    negatives_per_pair: int = 5
+    seed: int = 73
+
+
+def _name_profile(graph: KnowledgeGraph, names: dict,
+                  kind: str) -> np.ndarray:
+    """Multi-hot profile over shared relation- or attribute-names."""
+    profile = np.zeros((graph.num_entities, len(names)))
+    if kind == "relation":
+        for head, rel, tail in graph.rel_triples:
+            column = names.get(graph.relation_name(rel))
+            if column is not None:
+                profile[head, column] = 1.0
+                profile[tail, column] = 1.0
+    else:
+        for entity, attr, _ in graph.attr_triples:
+            column = names.get(graph.attribute_name(attr))
+            if column is not None:
+                profile[entity, column] = 1.0
+    return profile
+
+
+class HMAN(Aligner):
+    """Three-aspect (topology + relation names + attribute names) aligner."""
+
+    name = "hman"
+
+    def __init__(self, config: Optional[HMANConfig] = None):
+        self.config = config or HMANConfig()
+        self._emb1: Optional[np.ndarray] = None
+        self._emb2: Optional[np.ndarray] = None
+
+    def fit(self, pair: KGPair, split: Optional[AlignmentSplit] = None) -> None:
+        config = self.config
+        split = split or pair.split()
+        rng = np.random.default_rng(config.seed)
+        n1, n2 = pair.kg1.num_entities, pair.kg2.num_entities
+
+        rel_names = {
+            name: i for i, name in enumerate(sorted(
+                {pair.kg1.relation_name(r) for r in range(pair.kg1.num_relations)}
+                | {pair.kg2.relation_name(r) for r in range(pair.kg2.num_relations)}
+            ))
+        }
+        attr_names = {
+            name: i for i, name in enumerate(sorted(
+                set(pair.kg1.attribute_names()) | set(pair.kg2.attribute_names())
+            ))
+        }
+        rel_profile1 = _name_profile(pair.kg1, rel_names, "relation")
+        rel_profile2 = _name_profile(pair.kg2, rel_names, "relation")
+        attr_profile1 = _name_profile(pair.kg1, attr_names, "attribute")
+        attr_profile2 = _name_profile(pair.kg2, attr_names, "attribute")
+
+        adj1 = adjacency_matrix(n1, pair.kg1.rel_triples)
+        adj2 = adjacency_matrix(n2, pair.kg2.rel_triples)
+        features1 = Parameter(rng.normal(0.0, 0.1, size=(n1, config.dim)))
+        features2 = Parameter(rng.normal(0.0, 0.1, size=(n2, config.dim)))
+        conv1 = Linear(config.dim, config.dim, rng)
+        conv2 = Linear(config.dim, config.dim, rng)
+        rel_fnn = Linear(len(rel_names), config.profile_dim, rng)
+        attr_fnn = Linear(len(attr_names), config.profile_dim, rng)
+
+        parameters = [features1, features2]
+        for module in (conv1, conv2, rel_fnn, attr_fnn):
+            parameters.extend(module.parameters())
+        optimizer = Adam(parameters, lr=config.lr)
+        src, tgt = links_arrays(split.train)
+
+        def encode(features, adjacency, rel_profile, attr_profile) -> Tensor:
+            adj = Tensor(adjacency)
+            hidden = conv1(adj @ features).relu()
+            hidden = conv2(adj @ hidden)
+            rel_aspect = rel_fnn(Tensor(rel_profile)).tanh()
+            attr_aspect = attr_fnn(Tensor(attr_profile)).tanh()
+            return F.concatenate([hidden, rel_aspect, attr_aspect], axis=-1)
+
+        for _ in range(config.epochs):
+            if len(src) == 0:
+                break
+            h1 = encode(features1, adj1, rel_profile1, attr_profile1)
+            h2 = encode(features2, adj2, rel_profile2, attr_profile2)
+            k = config.negatives_per_pair
+            neg_idx = rng.integers(n2, size=len(src) * k)
+            pos_d = F.l2_distance(h1[src], h2[tgt])
+            neg_d = F.l2_distance(h1[np.repeat(src, k)], h2[neg_idx])
+            loss = pos_d.mean() + F.margin_ranking_loss(
+                pos_d[np.repeat(np.arange(len(src)), k)], neg_d, config.margin
+            )
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+        with no_grad():
+            self._emb1 = encode(features1, adj1, rel_profile1,
+                                attr_profile1).numpy()
+            self._emb2 = encode(features2, adj2, rel_profile2,
+                                attr_profile2).numpy()
+
+    def embeddings(self, side: int) -> np.ndarray:
+        if self._emb1 is None or self._emb2 is None:
+            raise RuntimeError("fit() must be called first")
+        return self._emb1 if side == 1 else self._emb2

@@ -1,0 +1,138 @@
+"""KECG-lite — joint knowledge embedding (TransE) + cross-graph GAT.
+
+KECG (Li et al., EMNLP 2019) trains a TransE objective and a GAT-based
+cross-graph model over *shared entity embeddings*, so translation
+structure and attention-weighted neighborhoods regularise each other.
+This lite version keeps exactly that coupling: one entity table feeds
+both a TransE margin loss and a one-layer dense GAT whose outputs carry
+the seed-alignment loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..kg.pair import AlignmentSplit, KGPair
+from ..nn import Adam, Embedding, Linear, Parameter, Tensor, no_grad
+from ..nn import functional as F
+from .base import Aligner, links_arrays
+from .gat import _adjacency_mask
+
+_NEG_INF = -1e9
+
+
+@dataclass
+class KECGConfig:
+    """Hyper-parameters for KECG-lite."""
+
+    dim: int = 64
+    epochs: int = 80
+    lr: float = 5e-3
+    margin: float = 1.0
+    transe_weight: float = 1.0
+    negatives_per_pair: int = 5
+    batch_size: int = 256
+    seed: int = 71
+
+
+class KECG(Aligner):
+    """Semi-supervised joint TransE + GAT aligner."""
+
+    name = "kecg"
+
+    def __init__(self, config: Optional[KECGConfig] = None):
+        self.config = config or KECGConfig()
+        self._emb1: Optional[np.ndarray] = None
+        self._emb2: Optional[np.ndarray] = None
+
+    def fit(self, pair: KGPair, split: Optional[AlignmentSplit] = None) -> None:
+        config = self.config
+        split = split or pair.split()
+        rng = np.random.default_rng(config.seed)
+        n1, n2 = pair.kg1.num_entities, pair.kg2.num_entities
+        total = n1 + n2
+        rel_offset = pair.kg1.num_relations
+        total_relations = max(rel_offset + pair.kg2.num_relations, 1)
+
+        entities = Embedding(total, config.dim, rng, std=0.1)
+        relations = Embedding(total_relations, config.dim, rng, std=0.1)
+        # One-layer dense GAT shared across KGs.
+        proj = Linear(config.dim, config.dim, rng, bias=False)
+        attn_src = Parameter(rng.normal(0.0, 0.1, size=(config.dim,)))
+        attn_dst = Parameter(rng.normal(0.0, 0.1, size=(config.dim,)))
+
+        mask1 = _adjacency_mask(n1, pair.kg1.rel_triples)
+        mask2 = _adjacency_mask(n2, pair.kg2.rel_triples)
+
+        triples = [(h, r, t) for h, r, t in pair.kg1.rel_triples]
+        triples += [(h + n1, r + rel_offset, t + n1)
+                    for h, r, t in pair.kg2.rel_triples]
+        triples_arr = (np.array(triples, dtype=int) if triples
+                       else np.zeros((0, 3), dtype=int))
+
+        parameters = [entities.weight, relations.weight,
+                      *proj.parameters(), attn_src, attn_dst]
+        optimizer = Adam(parameters, lr=config.lr)
+        src, tgt = links_arrays(split.train)
+        tgt_off = tgt + n1
+
+        def gat(ids_range: np.ndarray, adjacency_mask: np.ndarray) -> Tensor:
+            hidden = entities(ids_range)
+            projected = proj(hidden)
+            n = projected.shape[0]
+            scores = (projected @ attn_src).reshape(n, 1) + \
+                (projected @ attn_dst).reshape(1, n)
+            scores = scores.relu() - (-scores).relu() * 0.2
+            bias = np.where(adjacency_mask, 0.0, _NEG_INF)
+            alpha = F.softmax(scores + Tensor(bias), axis=-1)
+            return alpha @ projected
+
+        ids1 = np.arange(n1)
+        ids2 = np.arange(n2) + n1
+
+        for _ in range(config.epochs):
+            # (a) cross-graph GAT alignment loss
+            h1 = gat(ids1, mask1)
+            h2 = gat(ids2, mask2)
+            loss = Tensor(0.0)
+            if len(src):
+                k = config.negatives_per_pair
+                neg_idx = rng.integers(n2, size=len(src) * k)
+                pos_d = F.l2_distance(h1[src], h2[tgt])
+                neg_d = F.l2_distance(h1[np.repeat(src, k)], h2[neg_idx])
+                loss = pos_d.mean() + F.margin_ranking_loss(
+                    pos_d[np.repeat(np.arange(len(src)), k)], neg_d,
+                    config.margin,
+                )
+            # (b) TransE knowledge-embedding loss on a triple batch
+            if len(triples_arr):
+                idx = rng.integers(len(triples_arr),
+                                   size=min(config.batch_size,
+                                            len(triples_arr)))
+                batch = triples_arr[idx]
+                heads, rels, tails = batch[:, 0], batch[:, 1], batch[:, 2]
+                pos = F.l2_distance(
+                    entities(heads) + relations(rels), entities(tails)
+                )
+                neg_tails = rng.integers(total, size=len(batch))
+                neg = F.l2_distance(
+                    entities(heads) + relations(rels), entities(neg_tails)
+                )
+                loss = loss + config.transe_weight * F.margin_ranking_loss(
+                    pos, neg, config.margin
+                )
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+        with no_grad():
+            self._emb1 = gat(ids1, mask1).numpy()
+            self._emb2 = gat(ids2, mask2).numpy()
+
+    def embeddings(self, side: int) -> np.ndarray:
+        if self._emb1 is None or self._emb2 is None:
+            raise RuntimeError("fit() must be called first")
+        return self._emb1 if side == 1 else self._emb2

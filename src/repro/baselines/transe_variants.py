@@ -1,0 +1,311 @@
+"""TransE-variant baselines: NAEA-lite, TransEdge-lite, IPTransE-lite.
+
+Table II groups these with MTransE/JAPE as "relational association"
+methods; each adds one idea on top of translation embeddings:
+
+* **NAEA** (Zhu et al., IJCAI 2019) — neighborhood-aware attention:
+  an entity's representation mixes its own embedding with an
+  attention-weighted aggregate of its (relation + neighbor) embeddings.
+* **TransEdge** (Sun et al., ISWC 2019) — edge-centric translations:
+  the translation vector is contextualised by the head and tail
+  ("r_ht = r + W [h; t]"), relaxing TransE's 1-N/N-1 limitation.
+* **IPTransE** (Zhu et al., IJCAI 2017) — joint path modeling à la
+  PTransE: composed 2-hop paths (h, r1∘r2, t) are trained as additional
+  translation constraints, transmitting alignment information over
+  longer distances.
+
+All three share the TransE core of :mod:`repro.baselines.transe`
+(one embedding space, seed-alignment pull term, unit-sphere constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..kg.graph import KnowledgeGraph
+from ..kg.pair import AlignmentSplit, KGPair
+from ..nn import Adam, Embedding, Linear, Tensor
+from ..nn import functional as F
+from .base import Aligner, links_arrays
+
+
+def _merged_triples(pair: KGPair) -> Tuple[np.ndarray, int, int, int]:
+    """Merge both KGs' triples into one id space.
+
+    Returns ``(triples, total_entities, total_relations, entity_offset)``.
+    """
+    n1 = pair.kg1.num_entities
+    rel_offset = pair.kg1.num_relations
+    triples = [(h, r, t) for h, r, t in pair.kg1.rel_triples]
+    triples += [
+        (h + n1, r + rel_offset, t + n1) for h, r, t in pair.kg2.rel_triples
+    ]
+    total_entities = n1 + pair.kg2.num_entities
+    total_relations = max(rel_offset + pair.kg2.num_relations, 1)
+    arr = (np.array(triples, dtype=int) if triples
+           else np.zeros((0, 3), dtype=int))
+    return arr, total_entities, total_relations, n1
+
+
+def _normalize_rows(weights: np.ndarray) -> None:
+    norms = np.linalg.norm(weights, axis=1, keepdims=True)
+    np.divide(weights, np.maximum(norms, 1e-12), out=weights)
+
+
+@dataclass
+class VariantConfig:
+    """Shared hyper-parameters for the TransE variants."""
+
+    dim: int = 64
+    epochs: int = 60
+    lr: float = 1e-2
+    margin: float = 1.0
+    batch_size: int = 256
+    align_weight: float = 5.0
+    seed: int = 59
+
+
+class _VariantBase(Aligner):
+    """Common scaffolding: merged id space, training loop, evaluation."""
+
+    def __init__(self, config: Optional[VariantConfig] = None):
+        self.config = config or VariantConfig()
+        self._entities: Optional[Embedding] = None
+        self._n1 = 0
+        self._n2 = 0
+
+    # subclasses override ------------------------------------------------
+    def _build(self, pair: KGPair, total_entities: int,
+               total_relations: int, rng: np.random.Generator) -> None:
+        raise NotImplementedError
+
+    def _score(self, heads, relations, tails) -> Tensor:
+        """Distance-style score for triples (lower = more plausible)."""
+        raise NotImplementedError
+
+    def _extra_parameters(self) -> list:
+        return []
+
+    def _extra_loss(self, rng: np.random.Generator,
+                    total_entities: int) -> Optional[Tensor]:
+        return None
+
+    # shared -------------------------------------------------------------
+    def fit(self, pair: KGPair, split: Optional[AlignmentSplit] = None) -> None:
+        config = self.config
+        split = split or pair.split()
+        rng = np.random.default_rng(config.seed)
+        triples, total_entities, total_relations, offset = _merged_triples(pair)
+        self._n1, self._n2 = pair.kg1.num_entities, pair.kg2.num_entities
+        self._build(pair, total_entities, total_relations, rng)
+        assert self._entities is not None
+
+        parameters = [self._entities.weight, *self._extra_parameters()]
+        optimizer = Adam(parameters, lr=config.lr)
+        src, tgt = links_arrays(split.train)
+        tgt_off = tgt + offset
+
+        for _ in range(config.epochs):
+            order = rng.permutation(len(triples))
+            for start in range(0, len(order), config.batch_size):
+                batch = triples[order[start:start + config.batch_size]]
+                if batch.size == 0:
+                    continue
+                heads, relations, tails = batch[:, 0], batch[:, 1], batch[:, 2]
+                pos = self._score(heads, relations, tails)
+                corrupt_heads = rng.random(len(batch)) < 0.5
+                neg_heads = heads.copy()
+                neg_tails = tails.copy()
+                randoms = rng.integers(total_entities, size=len(batch))
+                neg_heads[corrupt_heads] = randoms[corrupt_heads]
+                neg_tails[~corrupt_heads] = randoms[~corrupt_heads]
+                neg = self._score(neg_heads, relations, neg_tails)
+                loss = F.margin_ranking_loss(pos, neg, config.margin)
+                if len(src):
+                    h1 = self._entities(src)
+                    h2 = self._entities(tgt_off)
+                    loss = loss + config.align_weight * F.l2_distance(h1, h2).mean()
+                extra = self._extra_loss(rng, total_entities)
+                if extra is not None:
+                    loss = loss + extra
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            _normalize_rows(self._entities.weight.data)
+
+    def embeddings(self, side: int) -> np.ndarray:
+        if self._entities is None:
+            raise RuntimeError("fit() must be called first")
+        weights = self._entities.weight.data
+        if side == 1:
+            return weights[:self._n1]
+        return weights[self._n1:self._n1 + self._n2]
+
+
+class TransEdge(_VariantBase):
+    """Edge-centric translation: r_ht = r + W [h; t]."""
+
+    name = "transedge"
+
+    def _build(self, pair, total_entities, total_relations, rng):
+        dim = self.config.dim
+        self._entities = Embedding(total_entities, dim, rng, std=0.1)
+        self._relations = Embedding(total_relations, dim, rng, std=0.1)
+        self._context = Linear(2 * dim, dim, rng)
+
+    def _extra_parameters(self):
+        return [*self._relations.parameters(), *self._context.parameters()]
+
+    def _score(self, heads, relations, tails):
+        h = self._entities(heads)
+        r = self._relations(relations)
+        t = self._entities(tails)
+        context = self._context(F.concatenate([h, t], axis=-1)).tanh()
+        return F.l2_distance(h + r + context, t)
+
+
+class NAEA(_VariantBase):
+    """Neighborhood-aware attention over (relation + neighbor) pairs.
+
+    Each entity's representation is a convex mix of its own embedding and
+    an attention-weighted aggregate of translated neighbors; the TransE
+    loss is computed over the mixed representations.
+    """
+
+    name = "naea"
+
+    max_neighbors = 8
+
+    def _build(self, pair, total_entities, total_relations, rng):
+        dim = self.config.dim
+        self._entities = Embedding(total_entities, dim, rng, std=0.1)
+        self._relations = Embedding(total_relations, dim, rng, std=0.1)
+        self._attention = Linear(dim, 1, rng)
+        self._neighbor_ids, self._neighbor_rels, self._neighbor_mask = (
+            _neighbor_tables(pair, self.max_neighbors)
+        )
+
+    def _extra_parameters(self):
+        return [*self._relations.parameters(), *self._attention.parameters()]
+
+    def _represent(self, entity_ids: np.ndarray) -> Tensor:
+        base = self._entities(entity_ids)
+        nbr_ids = self._neighbor_ids[entity_ids]
+        nbr_rels = self._neighbor_rels[entity_ids]
+        mask = self._neighbor_mask[entity_ids]
+        neighbors = self._entities(nbr_ids) + self._relations(nbr_rels)
+        scores = self._attention(neighbors)[:, :, 0]
+        bias = np.where(mask, 0.0, -1e9)
+        alpha = F.softmax(scores + Tensor(bias), axis=-1)
+        aggregated = (neighbors * alpha.reshape(*alpha.shape, 1)).sum(axis=1)
+        return base * 0.7 + aggregated * 0.3
+
+    def _score(self, heads, relations, tails):
+        h = self._represent(heads)
+        r = self._relations(relations)
+        t = self._represent(tails)
+        return F.l2_distance(h + r, t)
+
+    def embeddings(self, side: int) -> np.ndarray:
+        if self._entities is None:
+            raise RuntimeError("fit() must be called first")
+        from ..nn import no_grad
+        ids = (np.arange(self._n1) if side == 1
+               else np.arange(self._n2) + self._n1)
+        with no_grad():
+            return self._represent(ids).numpy()
+
+
+class IPTransE(_VariantBase):
+    """Joint path modeling: 2-hop paths as composed translations."""
+
+    name = "iptranse"
+
+    paths_per_epoch = 256
+
+    def _build(self, pair, total_entities, total_relations, rng):
+        dim = self.config.dim
+        self._entities = Embedding(total_entities, dim, rng, std=0.1)
+        self._relations = Embedding(total_relations, dim, rng, std=0.1)
+        self._paths = _sample_paths(pair, rng, max_paths=4096)
+
+    def _extra_parameters(self):
+        return list(self._relations.parameters())
+
+    def _score(self, heads, relations, tails):
+        h = self._entities(heads)
+        r = self._relations(relations)
+        t = self._entities(tails)
+        return F.l2_distance(h + r, t)
+
+    def _extra_loss(self, rng, total_entities):
+        if not len(self._paths):
+            return None
+        idx = rng.integers(len(self._paths),
+                           size=min(self.paths_per_epoch, len(self._paths)))
+        batch = self._paths[idx]
+        h = self._entities(batch[:, 0])
+        r1 = self._relations(batch[:, 1])
+        r2 = self._relations(batch[:, 3])
+        t = self._entities(batch[:, 4])
+        pos = F.l2_distance(h + r1 + r2, t)
+        neg_t = self._entities(rng.integers(total_entities, size=len(batch)))
+        neg = F.l2_distance(h + r1 + r2, neg_t)
+        return 0.5 * F.margin_ranking_loss(pos, neg, self.config.margin)
+
+
+def _neighbor_tables(pair: KGPair, cap: int):
+    """Padded (neighbor, relation) tables in the merged id space."""
+    n1 = pair.kg1.num_entities
+    total = n1 + pair.kg2.num_entities
+    rel_offset = pair.kg1.num_relations
+    ids = np.zeros((total, cap), dtype=int)
+    rels = np.zeros((total, cap), dtype=int)
+    mask = np.zeros((total, cap), dtype=bool)
+
+    def fill(graph: KnowledgeGraph, ent_off: int, rel_off: int) -> None:
+        for entity in graph.entities():
+            row = entity + ent_off
+            for slot, (rel, other) in enumerate(graph.neighbors(entity)[:cap]):
+                ids[row, slot] = other + ent_off
+                rels[row, slot] = rel + rel_off
+                mask[row, slot] = True
+            if not mask[row].any():
+                ids[row, 0] = row
+                mask[row, 0] = True
+
+    fill(pair.kg1, 0, 0)
+    fill(pair.kg2, n1, rel_offset)
+    return ids, rels, mask
+
+
+def _sample_paths(pair: KGPair, rng: np.random.Generator,
+                  max_paths: int) -> np.ndarray:
+    """Sample 2-hop paths (h, r1, m, r2, t) in the merged id space."""
+    paths: List[Tuple[int, int, int, int, int]] = []
+    n1 = pair.kg1.num_entities
+    rel_offset = pair.kg1.num_relations
+
+    def collect(graph: KnowledgeGraph, ent_off: int, rel_off: int) -> None:
+        outgoing = {}
+        for h, r, t in graph.rel_triples:
+            outgoing.setdefault(h, []).append((r, t))
+        for h, edges in outgoing.items():
+            for r1, middle in edges:
+                for r2, t in outgoing.get(middle, ())[:3]:
+                    if t != h:
+                        paths.append((h + ent_off, r1 + rel_off,
+                                      middle + ent_off, r2 + rel_off,
+                                      t + ent_off))
+
+    collect(pair.kg1, 0, 0)
+    collect(pair.kg2, n1, rel_offset)
+    if not paths:
+        return np.zeros((0, 5), dtype=int)
+    arr = np.array(paths, dtype=int)
+    if len(arr) > max_paths:
+        arr = arr[rng.choice(len(arr), size=max_paths, replace=False)]
+    return arr

@@ -1,0 +1,182 @@
+"""Command-line interface for the SDEA reproduction.
+
+Usage (installed as the ``repro`` console script)::
+
+    repro datasets                      # list generated benchmarks
+    repro stats    --dataset dbp15k/zh_en
+    repro run      --dataset dbp15k/zh_en --method sdea --stable
+    repro table    --table 3            # regenerate a paper table
+    repro export   --dataset srprs/en_fr --out ./data/en_fr
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .datasets import available_datasets, build_dataset
+from .experiments import (
+    available_methods,
+    format_dataset_stats_table,
+    format_degree_table,
+    format_results_table,
+    run_experiment,
+    run_suite,
+)
+from .experiments.report import write_report
+from .experiments.suites import (
+    FULL_METHODS,
+    TABLE3_DATASETS,
+    TABLE4_DATASETS,
+    TABLE5_DATASETS,
+    TABLE5_METHODS,
+)
+from .kg.io import save_graph, save_links
+from .kg.validation import validate_pair
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _cmd_methods(_: argparse.Namespace) -> int:
+    for name in available_methods():
+        print(name)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    pair = build_dataset(args.dataset)
+    print(format_dataset_stats_table({args.dataset: pair}))
+    print()
+    print(format_degree_table({args.dataset: pair}))
+    print(f"\nground-truth links: {len(pair.links)}")
+    print("test pairs with matching neighbors: "
+          f"{100 * pair.matched_neighbor_fraction():.1f}%")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    pair = build_dataset(args.dataset)
+    split = pair.split()
+    print(f"dataset: {args.dataset}  "
+          f"(train/valid/test = {len(split.train)}/{len(split.valid)}/"
+          f"{len(split.test)})")
+    result = run_experiment(args.method, pair, split,
+                            with_stable_matching=args.stable)
+    print(f"{args.method}: {result.row()}  ({result.seconds:.1f}s)")
+    return 0
+
+
+_TABLES = {
+    "3": (TABLE3_DATASETS, FULL_METHODS),
+    "4": (TABLE4_DATASETS, FULL_METHODS),
+    "5": (TABLE5_DATASETS, TABLE5_METHODS),
+}
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.table not in _TABLES:
+        print(f"unknown table {args.table!r}; choose from {sorted(_TABLES)}",
+              file=sys.stderr)
+        return 2
+    datasets, default_methods = _TABLES[args.table]
+    methods = args.methods or list(default_methods)
+    for dataset in datasets:
+        pair = build_dataset(dataset)
+        split = pair.split()
+        results = run_suite(methods, pair, split)
+        print(format_results_table(results, title=f"== {dataset} =="))
+        print()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    pair = build_dataset(args.dataset)
+    out = Path(args.out)
+    save_graph(pair.kg1, out / "rel_triples_1", out / "attr_triples_1")
+    save_graph(pair.kg2, out / "rel_triples_2", out / "attr_triples_2")
+    links = [
+        (pair.kg1.entity_uri(a), pair.kg2.entity_uri(b))
+        for a, b in pair.links
+    ]
+    save_links(links, out / "ent_links")
+    print(f"wrote OpenEA-format files to {out}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    pair = build_dataset(args.dataset)
+    report = validate_pair(pair)
+    print(report.format(limit=args.limit))
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = write_report(args.results, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SDEA reproduction (ICDE 2022) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list generated datasets") \
+        .set_defaults(func=_cmd_datasets)
+    sub.add_parser("methods", help="list alignment methods") \
+        .set_defaults(func=_cmd_methods)
+
+    stats = sub.add_parser("stats", help="dataset statistics (Tables I/VI)")
+    stats.add_argument("--dataset", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    run = sub.add_parser("run", help="train + evaluate one method")
+    run.add_argument("--dataset", required=True)
+    run.add_argument("--method", required=True)
+    run.add_argument("--stable", action="store_true",
+                     help="also report stable-matching Hits@1")
+    run.set_defaults(func=_cmd_run)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("--table", required=True, choices=sorted(_TABLES))
+    table.add_argument("--methods", nargs="*", default=None)
+    table.set_defaults(func=_cmd_table)
+
+    export = sub.add_parser("export", help="write OpenEA-format files")
+    export.add_argument("--dataset", required=True)
+    export.add_argument("--out", required=True)
+    export.set_defaults(func=_cmd_export)
+
+    validate = sub.add_parser(
+        "validate", help="sanity-check a dataset (duplicates, orphans, ...)"
+    )
+    validate.add_argument("--dataset", required=True)
+    validate.add_argument("--limit", type=int, default=20)
+    validate.set_defaults(func=_cmd_validate)
+
+    report = sub.add_parser(
+        "report", help="compose EXPERIMENTS.md from benchmark results"
+    )
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--out", default="EXPERIMENTS.md")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

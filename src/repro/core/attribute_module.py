@@ -1,0 +1,172 @@
+"""Attribute embedding module (paper Section III-A).
+
+``H_a(e) = MLP(BERT("[CLS]" || S(e)))`` — Eq. 5–7.  ``S(e)`` is the
+attribute sequence produced by Algorithm 1 (:mod:`repro.kg.sequences`).
+
+Pre-trained-BERT substitution (see DESIGN.md): MiniBert's token
+embeddings are initialised from LSA vectors of the corpus and pooling is
+IDF-weighted, supplying the distributional-semantics prior a downloaded
+BERT would bring; MLM pre-training and Algorithm-2 fine-tuning then
+refine the encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, concatenate, no_grad
+from ..text.bert import BertForMaskedLM, MiniBert
+from ..text.lsa import CorpusStats, corpus_stats
+from ..text.pretrain import PretrainConfig, pretrain_mlm
+from ..text.tokenizer import WordPieceTokenizer
+
+
+class AttributeEmbeddingModule(Module):
+    """MiniBert encoder + MLP head producing attribute embeddings.
+
+    Pooling: the paper takes the [CLS] final state (Eq. 6).  With a
+    full-size pre-trained BERT the [CLS] vector is already a strong
+    sequence summary; our CPU-scale MiniBert receives far less
+    pre-training, so by default we concatenate the [CLS] state with an
+    IDF-weighted mean of the token states before the MLP head — the mean
+    term supplies the token-overlap signal immediately while fine-tuning
+    shapes the [CLS] term.  Set ``pooling='cls'`` for the strict paper
+    form (compared in the ablation bench).
+    """
+
+    def __init__(self, bert: MiniBert, embed_dim: int,
+                 rng: np.random.Generator, pooling: str = "cls_mean",
+                 idf: Optional[np.ndarray] = None):
+        super().__init__()
+        if pooling not in ("cls", "mean", "cls_mean"):
+            raise ValueError(f"unknown pooling {pooling!r}")
+        self.bert = bert
+        self.pooling = pooling
+        self.idf = idf
+        in_dim = bert.config.dim * (2 if pooling == "cls_mean" else 1)
+        self.head = Linear(in_dim, embed_dim, rng)
+        self.embed_dim = embed_dim
+
+    def _pool_weights(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        weights = mask.astype(np.float64)
+        if self.idf is not None:
+            weights = weights * self.idf[ids]
+        weights /= np.maximum(weights.sum(axis=1, keepdims=True), 1e-12)
+        return weights
+
+    def forward(self, ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Encode token batches into attribute embeddings ``(B, embed_dim)``."""
+        hidden = self.bert(ids, mask)           # (B, T, D)
+        cls = hidden[:, 0, :]                   # C(e), Eq. 6
+        if self.pooling == "cls":
+            pooled = cls
+        else:
+            weights = self._pool_weights(ids, mask)
+            mean = (hidden * Tensor(weights[:, :, None])).sum(axis=1)
+            pooled = mean if self.pooling == "mean" else concatenate(
+                [cls, mean], axis=-1
+            )
+        return self.head(pooled)                # H_a(e), Eq. 7
+
+
+class SequenceEncoder:
+    """Caches tokenised attribute sequences for a set of entities."""
+
+    def __init__(self, tokenizer: WordPieceTokenizer,
+                 sequences: Sequence[str], max_len: int):
+        self.tokenizer = tokenizer
+        self.max_len = max_len
+        ids_rows: List[List[int]] = []
+        mask_rows: List[List[bool]] = []
+        for text in sequences:
+            ids, mask = tokenizer.encode(text, max_len)
+            ids_rows.append(ids)
+            mask_rows.append(mask)
+        self.ids = np.asarray(ids_rows, dtype=np.int64)
+        self.mask = np.asarray(mask_rows, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def batch(self, entity_ids: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Token ids + attention mask for the given entity ids."""
+        idx = np.asarray(entity_ids, dtype=int)
+        return self.ids[idx], self.mask[idx]
+
+
+def encode_all(module: AttributeEmbeddingModule, encoder: SequenceEncoder,
+               batch_size: int = 64) -> np.ndarray:
+    """Embed every entity with gradients disabled (lines 2–3 of Alg. 2).
+
+    Returns an ``(n, embed_dim)`` float array.
+    """
+    was_training = module.training
+    module.eval()
+    rows: List[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(encoder), batch_size):
+            ids = encoder.ids[start:start + batch_size]
+            mask = encoder.mask[start:start + batch_size]
+            rows.append(module(ids, mask).numpy())
+    if was_training:
+        module.train()
+    return np.concatenate(rows, axis=0)
+
+
+@dataclass
+class PreparedEncoder:
+    """Everything the Alg.-2 trainer needs, built from raw text."""
+
+    module: AttributeEmbeddingModule
+    tokenizer: WordPieceTokenizer
+    encoder1: SequenceEncoder
+    encoder2: SequenceEncoder
+    stats: CorpusStats
+    mlm_losses: List[float]
+
+
+def prepare_text_encoder(texts1: Sequence[str], texts2: Sequence[str],
+                         config, rng: np.random.Generator,
+                         ) -> PreparedEncoder:
+    """Build tokenizer + LSA-initialised, MLM-pre-trained attribute encoder.
+
+    Shared by SDEA (attribute sequences) and BERT-INT-lite (entity names).
+    ``config`` is an :class:`repro.core.config.SDEAConfig`.
+    """
+    corpus = list(texts1) + list(texts2)
+    tokenizer = WordPieceTokenizer.train(corpus, vocab_size=config.vocab_size)
+    bert_config = config.bert_config(tokenizer.vocab_size)
+    mlm = BertForMaskedLM(bert_config, rng)
+
+    encoder1 = SequenceEncoder(tokenizer, texts1, config.max_seq_len)
+    encoder2 = SequenceEncoder(tokenizer, texts2, config.max_seq_len)
+    all_ids = np.concatenate([encoder1.ids, encoder2.ids])
+    all_mask = np.concatenate([encoder1.mask, encoder2.mask])
+    stats = corpus_stats(all_ids, all_mask, tokenizer.vocab_size,
+                         bert_config.dim)
+    # Pre-trained prior: LSA vectors as initial token embeddings.
+    mlm.bert.token_embedding.weight.data[...] = stats.token_vectors
+
+    mlm_losses: List[float] = []
+    if config.mlm_epochs > 0:
+        mlm_losses = pretrain_mlm(
+            mlm, tokenizer, corpus,
+            PretrainConfig(
+                epochs=config.mlm_epochs,
+                max_len=config.max_seq_len,
+                lr=config.mlm_lr,
+                seed=config.seed + 3,
+            ),
+        )
+    module = AttributeEmbeddingModule(
+        mlm.bert, config.embed_dim, rng,
+        pooling=config.pooling, idf=stats.idf,
+    )
+    return PreparedEncoder(
+        module=module, tokenizer=tokenizer,
+        encoder1=encoder1, encoder2=encoder2,
+        stats=stats, mlm_losses=mlm_losses,
+    )

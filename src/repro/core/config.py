@@ -1,0 +1,101 @@
+"""Configuration for the SDEA model and its two training phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..text.bert import BertConfig
+
+
+@dataclass
+class SDEAConfig:
+    """Hyper-parameters for SDEA (paper Section IV + our CPU scale).
+
+    Attributes
+    ----------
+    bert_dim, bert_heads, bert_layers, bert_ff_dim:
+        MiniBert encoder size (BERT-base in the paper).
+    max_seq_len:
+        Max attribute-sequence length (128 in the paper; smaller here).
+    embed_dim:
+        Output width of the attribute embedding H_a (the MLP over [CLS]).
+    relation_hidden:
+        BiGRU hidden width (= H_r width).
+    relation_aggregator:
+        Neighbor aggregation: 'bigru_attention' (the paper's design),
+        'attention_only', 'mean' or 'max' (the alternatives Section III-B
+        rejects; compared in bench_aggregators).
+    max_neighbors:
+        Cap on the neighbor sequence fed to the BiGRU.
+    margin:
+        β of the margin-based ranking loss (Eq. 18).
+    num_candidates:
+        Size of GenCandidates' per-entity candidate set (hard negatives).
+    attr_epochs / attr_batch_size / attr_lr:
+        Algorithm 2 (attribute-module pre-training) settings; paper batch
+        size is 8.
+    rel_epochs / rel_batch_size / rel_lr:
+        Algorithm 3 (relation-module training) settings; paper batch size
+        is 256.
+    patience:
+        Early stopping: stop when validation Hits@1 has not improved for
+        this many consecutive validations (5 in the paper).
+    vocab_size:
+        Subword vocabulary budget for the in-repo tokenizer.
+    mlm_epochs:
+        MLM pre-training epochs for MiniBert (substitutes the downloaded
+        pre-trained BERT).
+    pooling:
+        Attribute-encoder pooling: 'cls' (strict paper form), 'mean', or
+        'cls_mean' (default; see AttributeEmbeddingModule docstring).
+    use_relation:
+        Ablation switch: False gives "SDEA w/o rel." (H_ent = H_a).
+    numeric_channel / numeric_dim / numeric_weight:
+        Opt-in numeric-value channel (the paper's Section III-A "handle
+        the numeric values separately" direction): appends a weighted
+        random-Fourier embedding of each entity's numeric values to the
+        final embedding.
+    seed:
+        Master seed for all RNGs.
+    """
+
+    bert_dim: int = 160
+    bert_heads: int = 4
+    bert_layers: int = 1
+    bert_ff_dim: int = 320
+    max_seq_len: int = 64
+    embed_dim: int = 160
+    relation_hidden: int = 96
+    relation_aggregator: str = "bigru_attention"
+    max_neighbors: int = 12
+    margin: float = 1.0
+    num_candidates: int = 10
+    attr_epochs: int = 14
+    attr_batch_size: int = 8
+    attr_lr: float = 1e-3
+    rel_epochs: int = 30
+    rel_batch_size: int = 32
+    rel_lr: float = 1e-3
+    patience: int = 5
+    dropout: float = 0.1
+    vocab_size: int = 2400
+    mlm_epochs: int = 2
+    mlm_lr: float = 1e-3
+    pooling: str = "cls_mean"
+    use_relation: bool = True
+    numeric_channel: bool = False
+    numeric_dim: int = 32
+    numeric_weight: float = 0.3
+    seed: int = 17
+
+    def bert_config(self, vocab_size: int) -> BertConfig:
+        """Instantiate the MiniBert config for a trained vocabulary."""
+        return BertConfig(
+            vocab_size=vocab_size,
+            dim=self.bert_dim,
+            num_heads=self.bert_heads,
+            ff_dim=self.bert_ff_dim,
+            num_layers=self.bert_layers,
+            max_len=self.max_seq_len,
+            dropout=self.dropout,
+        )

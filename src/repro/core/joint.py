@@ -1,0 +1,35 @@
+"""Joint entity representation (paper Section III-C).
+
+``H_m(e) = MLP([H_a(e); H_r(e)])``               (Eq. 16)
+``H_ent(e) = [H_r(e); H_a(e); H_m(e)]``           (Eq. 17)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, concatenate
+
+
+class JointRepresentation(Module):
+    """MLP combining attribute and relation embeddings into H_m."""
+
+    def __init__(self, attr_dim: int, rel_dim: int, out_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.proj = Linear(attr_dim + rel_dim, out_dim, rng)
+        self.out_dim = out_dim
+
+    def forward(self, h_a: Tensor, h_r: Tensor) -> Tensor:
+        """Compute H_m from paired attribute/relation embeddings."""
+        return self.proj(concatenate([h_a, h_r], axis=-1)).tanh()
+
+
+def final_embedding(h_r: Tensor, h_a: Tensor, h_m: Tensor) -> Tensor:
+    """H_ent = [H_r; H_a; H_m] (Eq. 17)."""
+    return concatenate([h_r, h_a, h_m], axis=-1)
+
+
+def training_embedding(h_r: Tensor, h_m: Tensor) -> Tensor:
+    """[H_r; H_m] — the concatenation the Alg. 3 loss is computed over."""
+    return concatenate([h_r, h_m], axis=-1)

@@ -1,0 +1,19 @@
+"""Training losses for SDEA (paper Eq. 18)."""
+
+from __future__ import annotations
+
+from ..nn import Tensor
+from ..nn import functional as F
+
+
+def triplet_margin_loss(anchor: Tensor, positive: Tensor, negative: Tensor,
+                        margin: float) -> Tensor:
+    """Margin-based ranking loss over embedding triples.
+
+    ``mean(max(0, ρ(a, p) - ρ(a, n) + β))`` with ρ the L2 distance — pulls
+    matched pairs together while pushing the sampled hard negative at
+    least ``margin`` further away (Eq. 18).
+    """
+    pos_distance = F.l2_distance(anchor, positive)
+    neg_distance = F.l2_distance(anchor, negative)
+    return F.margin_ranking_loss(pos_distance, neg_distance, margin)

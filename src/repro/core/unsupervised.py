@@ -1,0 +1,114 @@
+"""Unsupervised seeding — the paper's "completely unsupervised" direction.
+
+Section VI lists unsupervised entity alignment among the future
+directions.  This module implements the standard recipe on top of SDEA's
+own machinery: mine high-precision **pseudo seeds** from lexical evidence
+(TF-IDF over Algorithm-1 attribute sequences, mutual-nearest-neighbor +
+margin filtering), then train SDEA on the pseudo seeds exactly as if they
+were labeled data.
+
+Typical usage::
+
+    seeds = mine_pseudo_seeds(pair, seed=7)
+    split = pseudo_split(seeds)
+    model = SDEA(SDEAConfig())
+    model.fit(pair, split)        # no ground-truth labels used
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Sequence
+
+import numpy as np
+
+from ..kg.pair import AlignmentSplit, KGPair, Link
+from ..kg.sequences import build_sequences
+
+
+def tfidf_similarity(texts1: Sequence[str], texts2: Sequence[str]
+                     ) -> np.ndarray:
+    """Word-level TF-IDF cosine similarity between two text collections."""
+    rows1 = [Counter(str(t).lower().split()) for t in texts1]
+    rows2 = [Counter(str(t).lower().split()) for t in texts2]
+    document_frequency: Counter = Counter()
+    for row in (*rows1, *rows2):
+        document_frequency.update(row.keys())
+    vocabulary = {word: i for i, word in enumerate(document_frequency)}
+    total = len(rows1) + len(rows2)
+    idf = {
+        word: math.log(total / count)
+        for word, count in document_frequency.items()
+    }
+
+    def matrix(rows) -> np.ndarray:
+        out = np.zeros((len(rows), len(vocabulary)))
+        for i, row in enumerate(rows):
+            for word, count in row.items():
+                out[i, vocabulary[word]] = count * idf[word]
+        norms = np.linalg.norm(out, axis=1, keepdims=True)
+        return out / np.maximum(norms, 1e-12)
+
+    return matrix(rows1) @ matrix(rows2).T
+
+
+def mine_pseudo_seeds(pair: KGPair, min_similarity: float = 0.5,
+                      min_margin: float = 0.1, max_seeds: int = 0,
+                      seed: int = 7) -> List[Link]:
+    """Mine mutual-nearest, high-margin lexical matches as pseudo seeds.
+
+    Parameters
+    ----------
+    min_similarity:
+        Absolute TF-IDF cosine floor for accepting a pair.
+    min_margin:
+        Required gap between the best and the second-best target score —
+        ambiguous entities are skipped (precision over recall).
+    max_seeds:
+        Keep only the ``max_seeds`` most confident pairs (0 = no cap).
+    """
+    sequences1 = build_sequences(pair.kg1, np.random.default_rng(seed))
+    sequences2 = build_sequences(pair.kg2, np.random.default_rng(seed + 1))
+    similarity = tfidf_similarity(sequences1, sequences2)
+
+    best2_for1 = similarity.argmax(axis=1)
+    best1_for2 = similarity.argmax(axis=0)
+    scored: List[tuple[float, Link]] = []
+    for e1, e2 in enumerate(best2_for1):
+        if best1_for2[e2] != e1:
+            continue
+        row = similarity[e1]
+        top = row[e2]
+        runner_up = np.partition(row, -2)[-2] if row.size > 1 else -1.0
+        if top < min_similarity or top - runner_up < min_margin:
+            continue
+        scored.append((float(top), (int(e1), int(e2))))
+    scored.sort(reverse=True)
+    if max_seeds > 0:
+        scored = scored[:max_seeds]
+    return [link for _, link in scored]
+
+
+def pseudo_split(seeds: Sequence[Link], valid_fraction: float = 0.2,
+                 seed: int = 7) -> AlignmentSplit:
+    """Turn mined seeds into a train/valid split (test left empty).
+
+    The test set stays empty because evaluation uses the real ground
+    truth, not the pseudo labels.
+    """
+    seeds = list(seeds)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(seeds))
+    n_valid = max(1, int(round(valid_fraction * len(seeds)))) if seeds else 0
+    valid = [seeds[i] for i in order[:n_valid]]
+    train = [seeds[i] for i in order[n_valid:]]
+    return AlignmentSplit(train=train, valid=valid, test=[])
+
+
+def seed_precision(seeds: Sequence[Link], pair: KGPair) -> float:
+    """Fraction of pseudo seeds that are true links (diagnostic only)."""
+    if not seeds:
+        return 0.0
+    truth = set(pair.links)
+    return sum(1 for link in seeds if link in truth) / len(seeds)

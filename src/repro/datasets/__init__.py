@@ -1,0 +1,33 @@
+"""Synthetic benchmark generators for DBP15K / SRPRS / OpenEA analogues.
+
+Real benchmark downloads are unavailable offline; these generators
+reproduce each benchmark's published traits (Table I statistics, Table VI
+degree distributions, name/numeric behaviours) — see DESIGN.md.
+"""
+
+from .dbp15k import DBP15K_LANGS, DBP15KScale, build_dbp15k
+from .openea import OPENEA_DATASETS, OpenEAScale, build_openea
+from .registry import available_datasets, build_dataset
+from .sampling import degree_preserving_sample, downsample_pair, induced_subpair
+from .srprs import SRPRS_DATASETS, SRPRSScale, build_srprs
+from .synthesis import (
+    EntitySpec,
+    ViewConfig,
+    World,
+    WorldConfig,
+    derive_view,
+    generate_pair,
+    generate_world,
+)
+from .translation import ENGLISH, Language, make_lexicon, syllable_word
+
+__all__ = [
+    "WorldConfig", "ViewConfig", "World", "EntitySpec",
+    "generate_world", "derive_view", "generate_pair",
+    "Language", "ENGLISH", "make_lexicon", "syllable_word",
+    "build_dbp15k", "DBP15K_LANGS", "DBP15KScale",
+    "build_srprs", "SRPRS_DATASETS", "SRPRSScale",
+    "build_openea", "OPENEA_DATASETS", "OpenEAScale",
+    "build_dataset", "available_datasets",
+    "induced_subpair", "downsample_pair", "degree_preserving_sample",
+]

@@ -1,0 +1,111 @@
+"""Subgraph sampling over KG pairs.
+
+OpenEA's datasets are produced by *iterative degree-based sampling* from
+the full KBs so the samples keep realistic degree distributions.  This
+module provides the equivalent operations over in-memory pairs:
+
+* :func:`induced_subpair` — restrict a pair to a chosen set of linked
+  entities, keeping triples whose endpoints both survive;
+* :func:`downsample_pair` — uniform link subsampling;
+* :func:`degree_preserving_sample` — IDS-style iterative sampling that
+  preferentially keeps entities whose removal would distort the degree
+  distribution most (high-degree entities survive, as in OpenEA).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from ..kg.graph import KnowledgeGraph
+from ..kg.pair import KGPair, Link
+
+
+def _induce_graph(graph: KnowledgeGraph, keep: Set[int],
+                  name: str) -> KnowledgeGraph:
+    out = KnowledgeGraph(name=name)
+    for entity in sorted(keep):
+        out.add_entity(graph.entity_uri(entity))
+    for head, relation, tail in graph.rel_triples:
+        if head in keep and tail in keep:
+            out.add_rel_triple(
+                graph.entity_uri(head), graph.relation_name(relation),
+                graph.entity_uri(tail),
+            )
+    for entity, attribute, value in graph.attr_triples:
+        if entity in keep:
+            out.add_attr_triple(
+                graph.entity_uri(entity), graph.attribute_name(attribute),
+                value,
+            )
+    return out
+
+
+def induced_subpair(pair: KGPair, keep_links: Sequence[Link],
+                    name: str | None = None) -> KGPair:
+    """Restrict a pair to the entities of ``keep_links``.
+
+    Triples with a dropped endpoint disappear; attribute triples of kept
+    entities are preserved.  Links are re-indexed into the new id space.
+    """
+    keep_links = list(keep_links)
+    keep1 = {a for a, _ in keep_links}
+    keep2 = {b for _, b in keep_links}
+    sub1 = _induce_graph(pair.kg1, keep1, f"{pair.name}-sub-1")
+    sub2 = _induce_graph(pair.kg2, keep2, f"{pair.name}-sub-2")
+    links = [
+        (sub1.entity_id(pair.kg1.entity_uri(a)),
+         sub2.entity_id(pair.kg2.entity_uri(b)))
+        for a, b in keep_links
+    ]
+    return KGPair(kg1=sub1, kg2=sub2, links=links,
+                  name=name or f"{pair.name}-sub")
+
+
+def downsample_pair(pair: KGPair, fraction: float,
+                    rng: np.random.Generator | None = None,
+                    name: str | None = None) -> KGPair:
+    """Keep a uniform random fraction of the linked entities."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+    rng = rng or np.random.default_rng()
+    count = max(1, int(round(fraction * len(pair.links))))
+    chosen = rng.choice(len(pair.links), size=count, replace=False)
+    keep_links = [pair.links[i] for i in sorted(chosen)]
+    return induced_subpair(pair, keep_links, name=name)
+
+
+def degree_preserving_sample(pair: KGPair, target_links: int,
+                             rng: np.random.Generator | None = None,
+                             rounds: int = 10,
+                             name: str | None = None) -> KGPair:
+    """IDS-style sampling: iteratively drop low-degree linked entities.
+
+    Each round removes a slice of the remaining links, sampling removals
+    with probability inversely proportional to the pair's combined
+    relational degree — so well-connected entities survive and the
+    sample keeps a realistic (right-skewed) degree distribution, like
+    OpenEA's IDS procedure.
+    """
+    if target_links < 1:
+        raise ValueError("target_links must be >= 1")
+    rng = rng or np.random.default_rng()
+    links: List[Link] = list(pair.links)
+    if target_links >= len(links):
+        return induced_subpair(pair, links, name=name)
+
+    degrees = np.array([
+        pair.kg1.degree(a) + pair.kg2.degree(b) for a, b in links
+    ], dtype=np.float64)
+    per_round = max(1, (len(links) - target_links) // rounds)
+    while len(links) > target_links:
+        remove = min(per_round, len(links) - target_links)
+        weights = 1.0 / (1.0 + degrees)
+        weights /= weights.sum()
+        drop = set(rng.choice(len(links), size=remove, replace=False,
+                              p=weights))
+        links = [link for i, link in enumerate(links) if i not in drop]
+        degrees = np.array([d for i, d in enumerate(degrees)
+                            if i not in drop])
+    return induced_subpair(pair, links, name=name)

@@ -1,0 +1,50 @@
+"""Word pools for the synthetic world generator.
+
+``COMMON_WORDS`` is the glue vocabulary of the canonical (English) side —
+these are the words a :class:`~repro.datasets.translation.Language`
+translates.  Proper-noun words (entity names) are generated per-world from
+syllables and are *protected* from translation, mirroring how romanised
+names survive across real DBpedia language editions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .translation import syllable_word
+
+COMMON_WORDS: tuple[str, ...] = (
+    "the", "a", "an", "is", "was", "born", "in", "and", "of", "for",
+    "plays", "played", "team", "club", "city", "town", "country", "famous",
+    "professional", "footballer", "player", "person", "people", "known",
+    "as", "who", "from", "member", "national", "located", "founded",
+    "population", "capital", "region", "district", "north", "south",
+    "east", "west", "large", "small", "old", "new", "first", "second",
+    "league", "season", "career", "began", "joined", "later", "also",
+    "works", "worked", "bishop", "church", "catholic", "roman", "diocese",
+    "served", "since", "until", "retired", "author", "writer", "singer",
+    "album", "band", "music", "river", "mountain", "lake", "near",
+    "borders", "historic", "century", "university", "school", "studied",
+    "at", "with", "his", "her", "their", "life", "early", "world",
+    "championship", "cup", "won", "award", "best", "most", "one",
+    "many", "several", "other", "between", "during", "after", "before",
+)
+
+TYPE_WORDS = {
+    "person": ("person", "people", "human"),
+    "place": ("settlement", "place", "location"),
+    "club": ("organization", "club", "organisation"),
+    "country": ("country", "state", "nation"),
+}
+
+
+def proper_word(rng: np.random.Generator) -> str:
+    """A capitalised proper-noun pseudo-word."""
+    return syllable_word(rng, int(rng.integers(2, 4))).capitalize()
+
+
+def proper_name(rng: np.random.Generator, words: int = 2) -> List[str]:
+    """A multi-word proper name (e.g. a person's full name)."""
+    return [proper_word(rng) for _ in range(words)]

@@ -1,0 +1,57 @@
+"""Experiment harness: runners, table formatting, analyses."""
+
+from .attention_analysis import AttentionReport, analyze_attention
+from .error_analysis import ErrorAnalysisReport, error_analysis
+from .longtail import (
+    DEFAULT_BUCKETS,
+    LongtailReport,
+    format_longtail_table,
+    longtail_analysis,
+)
+from .methods import (
+    SDEAAligner,
+    SDEAWithoutRelation,
+    available_methods,
+    default_sdea_config,
+    make_method,
+)
+from .report import collect_results, generate_report, write_report
+from .runner import ExperimentResult, run_experiment, run_suite
+from .scaling import ScalingReport, scaling_analysis
+from .seed_sensitivity import SeedSensitivityReport, seed_sensitivity
+from .suites import (
+    ALL_DATASETS,
+    FAST_METHODS,
+    FULL_METHODS,
+    TABLE3_DATASETS,
+    TABLE4_DATASETS,
+    TABLE5_DATASETS,
+    TABLE5_METHODS,
+    build_pairs,
+    run_table,
+)
+from .tables import (
+    PAPER_REFERENCE,
+    format_dataset_stats_table,
+    format_degree_table,
+    format_results_table,
+    paper_reference,
+)
+
+__all__ = [
+    "make_method", "available_methods", "SDEAAligner", "SDEAWithoutRelation",
+    "default_sdea_config",
+    "ExperimentResult", "run_experiment", "run_suite",
+    "run_table", "build_pairs",
+    "FULL_METHODS", "TABLE5_METHODS", "FAST_METHODS",
+    "TABLE3_DATASETS", "TABLE4_DATASETS", "TABLE5_DATASETS", "ALL_DATASETS",
+    "format_results_table", "format_dataset_stats_table",
+    "format_degree_table", "paper_reference", "PAPER_REFERENCE",
+    "longtail_analysis", "LongtailReport", "format_longtail_table",
+    "DEFAULT_BUCKETS",
+    "error_analysis", "ErrorAnalysisReport",
+    "generate_report", "write_report", "collect_results",
+    "analyze_attention", "AttentionReport",
+    "seed_sensitivity", "SeedSensitivityReport",
+    "scaling_analysis", "ScalingReport",
+]

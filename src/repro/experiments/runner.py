@@ -1,0 +1,76 @@
+"""Experiment runner: train + evaluate one method on one dataset."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..align.evaluator import EvaluationResult
+from ..kg.pair import AlignmentSplit, KGPair
+from .methods import make_method
+
+
+@dataclass
+class ExperimentResult:
+    """One (method, dataset) cell of a results table."""
+
+    method: str
+    dataset: str
+    hits_at_1: float
+    hits_at_10: float
+    mrr: float
+    stable_hits_at_1: Optional[float]
+    seconds: float
+
+    @classmethod
+    def from_evaluation(cls, method: str, dataset: str,
+                        result: EvaluationResult,
+                        seconds: float) -> "ExperimentResult":
+        return cls(
+            method=method,
+            dataset=dataset,
+            hits_at_1=result.metrics.hits_at_1,
+            hits_at_10=result.metrics.hits_at_10,
+            mrr=result.metrics.mrr,
+            stable_hits_at_1=result.stable_hits_at_1,
+            seconds=seconds,
+        )
+
+    def row(self) -> Dict[str, float]:
+        out = {
+            "H@1": round(100 * self.hits_at_1, 1),
+            "H@10": round(100 * self.hits_at_10, 1),
+            "MRR": round(self.mrr, 2),
+        }
+        if self.stable_hits_at_1 is not None:
+            out["stable-H@1"] = round(100 * self.stable_hits_at_1, 1)
+        return out
+
+
+def run_experiment(method_name: str, pair: KGPair,
+                   split: Optional[AlignmentSplit] = None,
+                   with_stable_matching: bool = False) -> ExperimentResult:
+    """Fit ``method_name`` on the pair's train split; evaluate on test."""
+    split = split or pair.split()
+    method = make_method(method_name)
+    start = time.perf_counter()
+    method.fit(pair, split)
+    evaluation = method.evaluate(
+        split.test, with_stable_matching=with_stable_matching
+    )
+    elapsed = time.perf_counter() - start
+    return ExperimentResult.from_evaluation(
+        method_name, pair.name, evaluation, elapsed
+    )
+
+
+def run_suite(method_names: Sequence[str], pair: KGPair,
+              split: Optional[AlignmentSplit] = None,
+              with_stable_matching: bool = False) -> List[ExperimentResult]:
+    """Run several methods on one dataset (one table column group)."""
+    split = split or pair.split()
+    return [
+        run_experiment(name, pair, split, with_stable_matching)
+        for name in method_names
+    ]

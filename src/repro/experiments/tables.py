@@ -1,0 +1,163 @@
+"""Render experiment results in the paper's table layouts (Tables I, III–VI)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from ..kg.pair import KGPair
+from ..kg.statistics import pair_degree_proportions
+from .runner import ExperimentResult
+
+# Paper reference numbers (percent / ratio) for side-by-side comparison in
+# EXPERIMENTS.md.  Keyed by (table, dataset, method).
+PAPER_REFERENCE: Dict[str, Dict[str, Dict[str, tuple]]] = {
+    "table3": {  # (H@1, H@10, MRR) on DBP15K
+        "zh_en": {
+            "naea": (38.5, 63.5, 0.47), "transedge": (75.3, 92.4, 0.81), "iptranse": (33.2, 64.5, 0.43), "kecg": (47.7, 83.6, 0.60), "hman": (56.1, 85.9, 0.67), "rdgcn": (69.7, 84.2, 0.75), "hgcn": (70.8, 84.0, 0.76),
+            "mtranse": (20.9, 51.2, 0.31), "jape-stru": (37.2, 68.9, 0.48),
+            "jape": (41.4, 74.1, 0.53), "bootea": (61.4, 84.1, 0.69),
+            "rsn-lite": (58.0, 81.1, 0.66), "gcn": (39.8, 72.0, 0.51),
+            "gcn-align": (43.4, 76.2, 0.55), "gat-align": (47.0, 83.5, 0.59),
+            "cea": (71.9, 85.4, 0.77), "bert-int": (81.4, 83.7, 0.82),
+            "sdea": (87.0, 96.6, 0.91), "sdea-norel": (84.8, 94.9, 0.89),
+        },
+        "ja_en": {
+            "naea": (35.3, 61.3, 0.44), "transedge": (74.6, 92.4, 0.81), "iptranse": (29.0, 59.5, 0.39), "kecg": (49.2, 84.4, 0.61), "hman": (55.7, 86.0, 0.67), "rdgcn": (76.3, 89.7, 0.81), "hgcn": (75.8, 88.9, 0.81),
+            "mtranse": (25.0, 57.2, 0.36), "jape-stru": (32.9, 63.8, 0.43),
+            "jape": (36.5, 69.5, 0.48), "bootea": (57.3, 82.9, 0.66),
+            "rsn-lite": (57.4, 79.9, 0.65), "gcn": (40.0, 72.9, 0.51),
+            "gcn-align": (42.7, 76.2, 0.54), "gat-align": (48.3, 85.6, 0.61),
+            "cea": (78.5, 90.5, 0.83), "bert-int": (80.6, 83.5, 0.82),
+            "sdea": (84.8, 95.2, 0.89), "sdea-norel": (79.0, 90.2, 0.83),
+        },
+        "fr_en": {
+            "naea": (30.8, 59.6, 0.40), "transedge": (77.0, 94.2, 0.83), "iptranse": (24.5, 56.8, 0.35), "kecg": (48.5, 84.9, 0.61), "hman": (55.0, 87.6, 0.66), "rdgcn": (87.3, 95.0, 0.90), "hgcn": (88.8, 95.9, 0.91),
+            "mtranse": (24.7, 57.7, 0.36), "jape-stru": (29.3, 61.7, 0.40),
+            "jape": (31.8, 66.8, 0.44), "bootea": (58.5, 84.5, 0.68),
+            "rsn-lite": (61.2, 84.1, 0.69), "gcn": (38.9, 74.9, 0.51),
+            "gcn-align": (41.1, 77.2, 0.53), "gat-align": (49.1, 86.7, 0.62),
+            "cea": (92.8, 98.1, 0.95), "bert-int": (98.7, 99.2, 0.99),
+            "sdea": (96.9, 99.5, 0.98), "sdea-norel": (96.4, 99.3, 0.98),
+        },
+    },
+    "table4": {  # SRPRS
+        "en_fr": {
+            "naea": (17.7, 41.6, 0.26), "transedge": (40.0, 67.5, 0.49), "iptranse": (12.4, 30.1, 0.18), "kecg": (29.8, 61.6, 0.40), "hman": (40.0, 70.5, 0.50), "rdgcn": (67.2, 76.7, 0.71), "hgcn": (67.0, 77.0, 0.71),
+            "mtranse": (21.3, 44.7, 0.29), "jape-stru": (24.1, 53.3, 0.34),
+            "jape": (24.1, 54.4, 0.34), "bootea": (36.5, 64.9, 0.46),
+            "rsn-lite": (35.0, 63.6, 0.44), "gcn": (24.3, 52.2, 0.34),
+            "gcn-align": (29.6, 59.2, 0.40), "gat-align": (13.1, 34.2, 0.20),
+            "cea": (93.3, 97.4, 0.95), "bert-int": (97.1, 97.5, 0.97),
+            "sdea": (96.6, 98.6, 0.97), "sdea-norel": (95.6, 97.7, 0.96),
+        },
+        "en_de": {
+            "naea": (30.7, 53.5, 0.39), "transedge": (55.6, 75.3, 0.63), "iptranse": (13.5, 31.6, 0.20), "kecg": (44.4, 70.7, 0.54), "hman": (52.8, 77.8, 0.62), "rdgcn": (77.9, 88.6, 0.82), "hgcn": (76.3, 86.3, 0.80),
+            "mtranse": (10.7, 24.8, 0.16), "jape-stru": (30.2, 57.8, 0.40),
+            "jape": (26.8, 54.7, 0.36), "bootea": (50.3, 73.2, 0.58),
+            "rsn-lite": (48.4, 72.9, 0.57), "gcn": (38.5, 60.0, 0.46),
+            "gcn-align": (42.8, 66.2, 0.51), "gat-align": (24.5, 43.1, 0.31),
+            "cea": (94.5, 98.0, 0.96), "bert-int": (98.6, 98.8, 0.99),
+            "sdea": (96.8, 98.9, 0.98), "sdea-norel": (95.7, 98.1, 0.97),
+        },
+        "dbp_wd": {
+            "naea": (18.2, 42.9, 0.26), "transedge": (46.1, 73.8, 0.56), "iptranse": (10.1, 26.2, 0.16), "kecg": (32.3, 64.6, 0.43), "hman": (43.3, 74.4, 0.54), "rdgcn": (97.4, 99.4, 0.98), "hgcn": (98.9, 99.9, 0.99),
+            "mtranse": (18.8, 38.2, 0.26), "jape-stru": (21.0, 48.5, 0.30),
+            "jape": (21.2, 50.2, 0.31), "bootea": (38.4, 66.7, 0.48),
+            "rsn-lite": (39.1, 66.3, 0.48), "gcn": (29.1, 55.6, 0.38),
+            "gcn-align": (32.7, 61.1, 0.42), "gat-align": (15.1, 36.6, 0.22),
+            "cea": (99.9, 100.0, 1.00), "bert-int": (99.6, 99.7, 1.00),
+            "sdea": (98.0, 99.6, 0.99), "sdea-norel": (97.9, 99.5, 0.99),
+        },
+        "dbp_yg": {
+            "naea": (19.5, 45.1, 0.28), "transedge": (44.3, 69.9, 0.53), "iptranse": (10.3, 26.0, 0.16), "kecg": (35.0, 65.1, 0.45), "hman": (46.1, 76.5, 0.56), "rdgcn": (99.0, 99.7, 0.99), "hgcn": (99.1, 99.7, 0.99),
+            "mtranse": (19.6, 40.1, 0.27), "jape-stru": (21.5, 51.6, 0.32),
+            "jape": (19.3, 50.0, 0.30), "bootea": (38.1, 65.1, 0.47),
+            "rsn-lite": (39.3, 66.5, 0.49), "gcn": (31.9, 58.6, 0.41),
+            "gcn-align": (34.7, 64.0, 0.45), "gat-align": (17.5, 38.1, 0.24),
+            "cea": (99.9, 100.0, 1.00), "bert-int": (100.0, 100.0, 1.00),
+            "sdea": (99.9, 100.0, 1.00), "sdea-norel": (99.9, 100.0, 1.00),
+        },
+    },
+    "table5": {  # OpenEA D-W
+        "d_w_15k_v1": {
+            "gcn-align": (14.9, 42.9, 0.24), "cea": (19.0, None, None),
+            "bert-int": (0.6, 0.6, 0.01),
+            "sdea": (65.1, 77.2, 0.69), "sdea-norel": (58.2, 68.1, 0.62),
+        },
+        "d_w_100k_v1": {
+            "gcn-align": (25.1, 50.9, 0.34), "cea": (44.5, None, None),
+            "bert-int": (0.0, 0.1, 0.00),
+            "sdea": (57.1, 64.5, 0.60), "sdea-norel": (52.0, 60.2, 0.55),
+        },
+    },
+    "table6": {  # degree-range proportions (percent)
+        "zh_en": {"ranges": (30.0, 46.9, 78.5)},
+        "ja_en": {"ranges": (28.8, 44.0, 76.8)},
+        "fr_en": {"ranges": (23.1, 33.4, 63.6)},
+        "en_fr": {"ranges": (69.9, 81.5, 92.5)},
+        "en_de": {"ranges": (65.4, 81.6, 94.7)},
+        "dbp_wd": {"ranges": (65.7, 78.9, 90.8)},
+        "dbp_yg": {"ranges": (69.8, 82.0, 94.7)},
+        "d_w_15k_v1": {"ranges": (52.8, 73.7, 91.2)},
+        "d_w_100k_v1": {"ranges": (54.7, 74.1, 91.4)},
+    },
+}
+
+
+def format_results_table(results: Sequence[ExperimentResult],
+                         title: str = "") -> str:
+    """Render rows of (method → H@1/H@10/MRR) like Tables III–V."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'Method':<12} {'H@1':>6} {'H@10':>6} {'MRR':>6}"
+    if any(r.stable_hits_at_1 is not None for r in results):
+        header += f" {'st-H@1':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in results:
+        row = (
+            f"{result.method:<12} {100 * result.hits_at_1:>6.1f} "
+            f"{100 * result.hits_at_10:>6.1f} {result.mrr:>6.2f}"
+        )
+        if result.stable_hits_at_1 is not None:
+            row += f" {100 * result.stable_hits_at_1:>7.1f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_dataset_stats_table(pairs: Mapping[str, KGPair]) -> str:
+    """Render a Table-I style statistics block for generated datasets."""
+    lines = [
+        f"{'Dataset':<22} {'Entities':>9} {'Rel.':>6} {'Attr.':>6} "
+        f"{'RelTriples':>11} {'AttrTriples':>12}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for name, pair in pairs.items():
+        for graph in (pair.kg1, pair.kg2):
+            stats = graph.summary()
+            lines.append(
+                f"{name + '/' + graph.name.split('-')[-1]:<22} "
+                f"{stats['entities']:>9} {stats['relations']:>6} "
+                f"{stats['attributes']:>6} {stats['rel_triples']:>11} "
+                f"{stats['attr_triples']:>12}"
+            )
+    return "\n".join(lines)
+
+
+def format_degree_table(pairs: Mapping[str, KGPair]) -> str:
+    """Render Table VI: degree-range proportions per dataset."""
+    lines = [f"{'Dataset':<16} {'1~3':>7} {'1~5':>7} {'1~10':>7}"]
+    lines.append("-" * len(lines[0]))
+    for name, pair in pairs.items():
+        props = pair_degree_proportions(pair)
+        lines.append(
+            f"{name:<16} {100 * props['1~3']:>6.1f}% "
+            f"{100 * props['1~5']:>6.1f}% {100 * props['1~10']:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def paper_reference(table: str, dataset: str, method: str):
+    """Look up the paper's reported numbers (or None when absent)."""
+    return PAPER_REFERENCE.get(table, {}).get(dataset, {}).get(method)

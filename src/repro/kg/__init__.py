@@ -1,0 +1,32 @@
+"""Knowledge-graph substrate: graphs, pairs, I/O, sequences, statistics."""
+
+from .graph import KnowledgeGraph, merge_corpora
+from .io import load_graph, load_links, save_graph, save_links
+from .pair import AlignmentSplit, KGPair, Link
+from .sequences import attribute_order, build_sequences, entity_sequence
+from .validation import (
+    ValidationIssue,
+    ValidationReport,
+    validate_graph,
+    validate_pair,
+)
+from .statistics import (
+    classify_value,
+    degree_proportions,
+    long_text_fraction,
+    longtail_entities,
+    pair_degree_proportions,
+    pair_summary,
+    value_type_fractions,
+)
+
+__all__ = [
+    "KnowledgeGraph", "merge_corpora",
+    "load_graph", "load_links", "save_graph", "save_links",
+    "KGPair", "AlignmentSplit", "Link",
+    "attribute_order", "entity_sequence", "build_sequences",
+    "degree_proportions", "pair_degree_proportions", "long_text_fraction",
+    "classify_value", "value_type_fractions", "pair_summary",
+    "longtail_entities",
+    "validate_graph", "validate_pair", "ValidationReport", "ValidationIssue",
+]

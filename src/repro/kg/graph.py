@@ -1,0 +1,188 @@
+"""Knowledge graph data structure (paper Definition 1).
+
+A KG is ``{E, R, A, V, T_r, T_a}``: entities, relations, attributes,
+values, relational triples ``(h, r, t)`` and attributed triples
+``(e, a, v)``.  Entities/relations/attributes are referenced by string
+URIs externally and by dense integer ids internally; values are plain
+strings (numbers are stored in their textual form, as in DBpedia dumps).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+RelTriple = Tuple[int, int, int]  # (head, relation, tail) ids
+AttrTriple = Tuple[int, int, str]  # (entity, attribute, value)
+
+
+class _Interner:
+    """Assigns dense consecutive ids to string names."""
+
+    def __init__(self):
+        self._to_id: Dict[str, int] = {}
+        self._to_name: List[str] = []
+
+    def intern(self, name: str) -> int:
+        existing = self._to_id.get(name)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_name)
+        self._to_id[name] = new_id
+        self._to_name.append(name)
+        return new_id
+
+    def id_of(self, name: str) -> int:
+        return self._to_id[name]
+
+    def name_of(self, item_id: int) -> str:
+        return self._to_name[item_id]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._to_id
+
+    def __len__(self) -> int:
+        return len(self._to_name)
+
+    def names(self) -> List[str]:
+        return list(self._to_name)
+
+
+@dataclass
+class KnowledgeGraph:
+    """In-memory knowledge graph with id-interned entities/relations/attrs.
+
+    Build one incrementally with :meth:`add_rel_triple` /
+    :meth:`add_attr_triple`, or load one with :mod:`repro.kg.io`.
+    """
+
+    name: str = "kg"
+    _entities: _Interner = field(default_factory=_Interner, repr=False)
+    _relations: _Interner = field(default_factory=_Interner, repr=False)
+    _attributes: _Interner = field(default_factory=_Interner, repr=False)
+    rel_triples: List[RelTriple] = field(default_factory=list, repr=False)
+    attr_triples: List[AttrTriple] = field(default_factory=list, repr=False)
+    _neighbors: Dict[int, List[Tuple[int, int]]] = field(
+        default_factory=lambda: defaultdict(list), repr=False)
+    _attrs_of: Dict[int, List[Tuple[int, str]]] = field(
+        default_factory=lambda: defaultdict(list), repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_entity(self, uri: str) -> int:
+        """Register an entity (idempotent); return its id."""
+        return self._entities.intern(uri)
+
+    def add_rel_triple(self, head: str, relation: str, tail: str) -> RelTriple:
+        """Add a relational triple ``(h, r, t)`` by URI; returns the id form."""
+        h = self._entities.intern(head)
+        r = self._relations.intern(relation)
+        t = self._entities.intern(tail)
+        triple = (h, r, t)
+        self.rel_triples.append(triple)
+        self._neighbors[h].append((r, t))
+        self._neighbors[t].append((r, h))
+        return triple
+
+    def add_attr_triple(self, entity: str, attribute: str, value: str) -> AttrTriple:
+        """Add an attributed triple ``(e, a, v)`` by URI."""
+        e = self._entities.intern(entity)
+        a = self._attributes.intern(attribute)
+        triple = (e, a, str(value))
+        self.attr_triples.append(triple)
+        self._attrs_of[e].append((a, str(value)))
+        return triple
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def num_entities(self) -> int:
+        return len(self._entities)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self._relations)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._attributes)
+
+    def entity_id(self, uri: str) -> int:
+        return self._entities.id_of(uri)
+
+    def entity_uri(self, entity_id: int) -> str:
+        return self._entities.name_of(entity_id)
+
+    def relation_name(self, relation_id: int) -> str:
+        return self._relations.name_of(relation_id)
+
+    def attribute_name(self, attribute_id: int) -> str:
+        return self._attributes.name_of(attribute_id)
+
+    def has_entity(self, uri: str) -> bool:
+        return uri in self._entities
+
+    def entities(self) -> range:
+        """All entity ids."""
+        return range(self.num_entities)
+
+    def entity_uris(self) -> List[str]:
+        return self._entities.names()
+
+    def attribute_names(self) -> List[str]:
+        return self._attributes.names()
+
+    def neighbors(self, entity_id: int) -> List[Tuple[int, int]]:
+        """Undirected neighborhood: list of ``(relation_id, other_entity_id)``."""
+        return list(self._neighbors.get(entity_id, ()))
+
+    def neighbor_entities(self, entity_id: int) -> List[int]:
+        """Neighbor entity ids (with multiplicity collapsed, order preserved)."""
+        seen: set[int] = set()
+        out: List[int] = []
+        for _, other in self._neighbors.get(entity_id, ()):
+            if other not in seen:
+                seen.add(other)
+                out.append(other)
+        return out
+
+    def degree(self, entity_id: int) -> int:
+        """Relational degree (counting both head and tail participation)."""
+        return len(self._neighbors.get(entity_id, ()))
+
+    def attributes_of(self, entity_id: int) -> List[Tuple[int, str]]:
+        """Attributed triples of an entity as ``(attribute_id, value)``."""
+        return list(self._attrs_of.get(entity_id, ()))
+
+    def entity_values(self, entity_id: int) -> List[str]:
+        """Just the attribute values of an entity."""
+        return [v for _, v in self._attrs_of.get(entity_id, ())]
+
+    # ------------------------------------------------------------------ #
+    # Bulk helpers
+    # ------------------------------------------------------------------ #
+    def all_values(self) -> Iterable[str]:
+        """Every attribute value in the graph (with repetition)."""
+        for _, _, value in self.attr_triples:
+            yield value
+
+    def summary(self) -> Dict[str, int]:
+        """Table-I style statistics."""
+        return {
+            "entities": self.num_entities,
+            "relations": self.num_relations,
+            "attributes": self.num_attributes,
+            "rel_triples": len(self.rel_triples),
+            "attr_triples": len(self.attr_triples),
+        }
+
+
+def merge_corpora(graphs: Sequence[KnowledgeGraph]) -> List[str]:
+    """Collect all attribute values across graphs (the MLM pre-train corpus)."""
+    corpus: List[str] = []
+    for graph in graphs:
+        corpus.extend(graph.all_values())
+    return corpus

@@ -1,0 +1,82 @@
+"""OpenEA-style file I/O for knowledge graph pairs.
+
+The OpenEA benchmark distributes each dataset as tab-separated files::
+
+    rel_triples_1 / rel_triples_2    head \t relation \t tail
+    attr_triples_1 / attr_triples_2  entity \t attribute \t value
+    ent_links                        entity1 \t entity2
+
+This module reads and writes that layout so generated synthetic datasets
+are interchangeable with real downloads when those are available.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from .graph import KnowledgeGraph
+
+PathLike = Union[str, Path]
+
+
+def _read_tsv(path: Path, expected_columns: int) -> List[List[str]]:
+    rows: List[List[str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t", expected_columns - 1)
+            if len(parts) != expected_columns:
+                raise ValueError(
+                    f"{path}:{line_no}: expected {expected_columns} "
+                    f"tab-separated fields, got {len(parts)}"
+                )
+            rows.append(parts)
+    return rows
+
+
+def load_graph(rel_path: PathLike, attr_path: PathLike,
+               name: str = "kg") -> KnowledgeGraph:
+    """Load one KG from relational + attributed triple files."""
+    graph = KnowledgeGraph(name=name)
+    for head, relation, tail in _read_tsv(Path(rel_path), 3):
+        graph.add_rel_triple(head, relation, tail)
+    for entity, attribute, value in _read_tsv(Path(attr_path), 3):
+        graph.add_attr_triple(entity, attribute, value)
+    return graph
+
+
+def load_links(path: PathLike) -> List[Tuple[str, str]]:
+    """Load the ground-truth entity links (URI pairs)."""
+    return [(a, b) for a, b in _read_tsv(Path(path), 2)]
+
+
+def save_graph(graph: KnowledgeGraph, rel_path: PathLike,
+               attr_path: PathLike) -> None:
+    """Write a KG to OpenEA-layout triple files."""
+    rel_path, attr_path = Path(rel_path), Path(attr_path)
+    rel_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(rel_path, "w", encoding="utf-8") as handle:
+        for head, relation, tail in graph.rel_triples:
+            handle.write(
+                f"{graph.entity_uri(head)}\t{graph.relation_name(relation)}\t"
+                f"{graph.entity_uri(tail)}\n"
+            )
+    with open(attr_path, "w", encoding="utf-8") as handle:
+        for entity, attribute, value in graph.attr_triples:
+            clean = str(value).replace("\t", " ").replace("\n", " ")
+            handle.write(
+                f"{graph.entity_uri(entity)}\t"
+                f"{graph.attribute_name(attribute)}\t{clean}\n"
+            )
+
+
+def save_links(links: List[Tuple[str, str]], path: PathLike) -> None:
+    """Write ground-truth entity links."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for left, right in links:
+            handle.write(f"{left}\t{right}\n")

@@ -1,0 +1,60 @@
+"""Algorithm 1 — KG transformation into attribute sequences.
+
+Transforms each entity's attributed triples into a single token sequence:
+a random-but-fixed global order over the attribute set is chosen once per
+KG, each entity's triples are sorted by that order, and the values are
+concatenated.  The paper stresses that the *same* order is applied to all
+entities of a KG so that values form a consistent "contextual
+relationship" for the transformer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+
+
+def attribute_order(graph: KnowledgeGraph,
+                    rng: Optional[np.random.Generator] = None) -> List[int]:
+    """Generate the fixed order ``O(A)`` over a KG's attribute ids.
+
+    A seeded generator makes the order reproducible; without one, the order
+    is a random permutation as in the paper (line 1 of Algorithm 1).
+    """
+    ids = np.arange(graph.num_attributes)
+    if rng is None:
+        rng = np.random.default_rng()
+    return list(rng.permutation(ids))
+
+
+def entity_sequence(graph: KnowledgeGraph, entity_id: int,
+                    order: Sequence[int]) -> str:
+    """Build S(e): concatenated attribute values in the global order.
+
+    Entities without attributes fall back to the local name portion of
+    their URI so the attribute module always receives *some* signal (the
+    paper's datasets guarantee at least names exist in DBpedia-side KGs).
+    """
+    rank: Dict[int, int] = {attr_id: pos for pos, attr_id in enumerate(order)}
+    triples = graph.attributes_of(entity_id)
+    triples.sort(key=lambda pair: rank.get(pair[0], len(rank)))
+    values = [value for _, value in triples]
+    if not values:
+        uri = graph.entity_uri(entity_id)
+        values = [uri.rsplit("/", 1)[-1].replace("_", " ")]
+    return " ".join(values)
+
+
+def build_sequences(graph: KnowledgeGraph,
+                    rng: Optional[np.random.Generator] = None,
+                    order: Optional[Sequence[int]] = None) -> List[str]:
+    """Run Algorithm 1 over a whole KG.
+
+    Returns one attribute sequence per entity, indexed by entity id.
+    """
+    if order is None:
+        order = attribute_order(graph, rng)
+    return [entity_sequence(graph, e, order) for e in graph.entities()]

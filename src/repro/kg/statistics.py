@@ -1,0 +1,95 @@
+"""KG statistics used by the paper's Tables I and VI and error analysis.
+
+Includes degree-range proportions (Table VI), Table-I style summaries,
+long-textual-attribute fractions (Section I: ">15% of attributes contain
+long textual values ... in Freebase"), and numeric-value fractions
+(Section V error analysis on D-W).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+from .pair import KGPair
+
+_NUMERIC_RE = re.compile(r"^[+-]?\d[\d,.]*$")
+_DATE_RE = re.compile(r"^\d{4}(-\d{2}(-\d{2})?)?$")
+
+
+def degree_proportions(graph: KnowledgeGraph,
+                       ranges: Sequence[Tuple[int, int]] = ((1, 3), (1, 5), (1, 10)),
+                       ) -> Dict[str, float]:
+    """Proportion of entities whose relational degree lies in each range.
+
+    Matches Table VI: ranges default to 1–3, 1–5, 1–10.  Entities with
+    degree zero are excluded from the denominator (the paper's ranges all
+    start at 1).
+    """
+    degrees = np.array([graph.degree(e) for e in graph.entities()])
+    positive = degrees[degrees >= 1]
+    if positive.size == 0:
+        return {f"{lo}~{hi}": 0.0 for lo, hi in ranges}
+    return {
+        f"{lo}~{hi}": float(((positive >= lo) & (positive <= hi)).mean())
+        for lo, hi in ranges
+    }
+
+
+def pair_degree_proportions(pair: KGPair, **kwargs) -> Dict[str, float]:
+    """Table-VI proportions pooled over both graphs of a pair."""
+    props1 = degree_proportions(pair.kg1, **kwargs)
+    props2 = degree_proportions(pair.kg2, **kwargs)
+    n1 = sum(1 for e in pair.kg1.entities() if pair.kg1.degree(e) >= 1)
+    n2 = sum(1 for e in pair.kg2.entities() if pair.kg2.degree(e) >= 1)
+    total = max(n1 + n2, 1)
+    return {
+        key: (props1[key] * n1 + props2[key] * n2) / total
+        for key in props1
+    }
+
+
+def long_text_fraction(graph: KnowledgeGraph, min_words: int = 50) -> float:
+    """Fraction of attribute triples whose value has ≥ ``min_words`` words."""
+    if not graph.attr_triples:
+        return 0.0
+    long_count = sum(
+        1 for _, _, value in graph.attr_triples
+        if len(str(value).split()) >= min_words
+    )
+    return long_count / len(graph.attr_triples)
+
+
+def classify_value(value: str) -> str:
+    """Coarse value typing used by the error analysis: date/number/text."""
+    value = str(value).strip()
+    if _DATE_RE.match(value):
+        return "date"
+    if _NUMERIC_RE.match(value):
+        return "number"
+    return "text"
+
+
+def value_type_fractions(graph: KnowledgeGraph) -> Dict[str, float]:
+    """Fractions of attribute values that are dates / numbers / text."""
+    counts = {"date": 0, "number": 0, "text": 0}
+    for _, _, value in graph.attr_triples:
+        counts[classify_value(value)] += 1
+    total = max(sum(counts.values()), 1)
+    return {key: count / total for key, count in counts.items()}
+
+
+def pair_summary(pair: KGPair) -> Dict[str, Dict[str, int]]:
+    """Table-I style row for a KG pair."""
+    return {pair.kg1.name: pair.kg1.summary(), pair.kg2.name: pair.kg2.summary()}
+
+
+def longtail_entities(graph: KnowledgeGraph, max_degree: int = 3) -> list[int]:
+    """Entity ids with relational degree in [1, max_degree] ("long-tail")."""
+    return [
+        e for e in graph.entities()
+        if 1 <= graph.degree(e) <= max_degree
+    ]

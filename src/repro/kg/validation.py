@@ -1,0 +1,146 @@
+"""Sanity checks for knowledge graphs and pairs.
+
+A loading-time validator for user-supplied data: real dumps routinely
+contain duplicate triples, self-loops, empty literals, and links to
+entities that appear in no triple.  ``validate_graph`` /
+``validate_pair`` report these as structured findings without mutating
+anything; callers decide what to do.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List
+
+from .graph import KnowledgeGraph
+from .pair import KGPair
+
+
+@dataclass
+class ValidationIssue:
+    """One finding: a machine-readable code plus human-readable detail."""
+
+    code: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one graph or pair."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def codes(self) -> Counter:
+        return Counter(issue.code for issue in self.issues)
+
+    def format(self, limit: int = 20) -> str:
+        if self.ok:
+            return "no issues found"
+        lines = [str(issue) for issue in self.issues[:limit]]
+        if len(self.issues) > limit:
+            lines.append(f"... and {len(self.issues) - limit} more")
+        return "\n".join(lines)
+
+
+def validate_graph(graph: KnowledgeGraph) -> ValidationReport:
+    """Check one KG for common data problems.
+
+    Codes emitted:
+
+    * ``duplicate-rel-triple`` — the same (h, r, t) appears twice;
+    * ``self-loop`` — a relational triple with head == tail;
+    * ``empty-value`` — an attributed triple with a blank value;
+    * ``isolated-entity`` — an entity in no relational or attributed
+      triple (nothing for any aligner to work with);
+    * ``duplicate-attr-triple`` — identical (e, a, v) repeated.
+    """
+    report = ValidationReport()
+
+    seen_rel = Counter(graph.rel_triples)
+    for triple, count in seen_rel.items():
+        if count > 1:
+            head, rel, tail = triple
+            report.issues.append(ValidationIssue(
+                "duplicate-rel-triple",
+                f"({graph.entity_uri(head)}, {graph.relation_name(rel)}, "
+                f"{graph.entity_uri(tail)}) appears {count}x",
+            ))
+    for head, rel, tail in set(graph.rel_triples):
+        if head == tail:
+            report.issues.append(ValidationIssue(
+                "self-loop",
+                f"{graph.entity_uri(head)} --{graph.relation_name(rel)}--> "
+                f"itself",
+            ))
+
+    seen_attr = Counter(graph.attr_triples)
+    for triple, count in seen_attr.items():
+        entity, attribute, value = triple
+        if count > 1:
+            report.issues.append(ValidationIssue(
+                "duplicate-attr-triple",
+                f"({graph.entity_uri(entity)}, "
+                f"{graph.attribute_name(attribute)}, {value!r}) "
+                f"appears {count}x",
+            ))
+        if not str(value).strip():
+            report.issues.append(ValidationIssue(
+                "empty-value",
+                f"{graph.entity_uri(entity)}."
+                f"{graph.attribute_name(attribute)} is blank",
+            ))
+
+    attributed = {entity for entity, _, _ in graph.attr_triples}
+    for entity in graph.entities():
+        if graph.degree(entity) == 0 and entity not in attributed:
+            report.issues.append(ValidationIssue(
+                "isolated-entity", graph.entity_uri(entity)
+            ))
+    return report
+
+
+def validate_pair(pair: KGPair) -> ValidationReport:
+    """Check a pair: per-graph findings plus link-level problems.
+
+    Additional codes: ``duplicate-link`` and ``many-to-one-link`` (the
+    same entity linked to several counterparts — legal under the paper's
+    non-1-1 assumption, but usually a data error in benchmark files).
+    """
+    report = ValidationReport()
+    for side, graph in (("kg1", pair.kg1), ("kg2", pair.kg2)):
+        for issue in validate_graph(graph).issues:
+            report.issues.append(ValidationIssue(
+                issue.code, f"{side}: {issue.detail}"
+            ))
+
+    link_counts = Counter(pair.links)
+    for link, count in link_counts.items():
+        if count > 1:
+            report.issues.append(ValidationIssue(
+                "duplicate-link", f"{link} appears {count}x"
+            ))
+    left_counts = Counter(a for a, _ in pair.links)
+    right_counts = Counter(b for _, b in pair.links)
+    for entity, count in left_counts.items():
+        if count > 1:
+            report.issues.append(ValidationIssue(
+                "many-to-one-link",
+                f"kg1 entity {pair.kg1.entity_uri(entity)} linked "
+                f"{count}x",
+            ))
+    for entity, count in right_counts.items():
+        if count > 1:
+            report.issues.append(ValidationIssue(
+                "many-to-one-link",
+                f"kg2 entity {pair.kg2.entity_uri(entity)} linked "
+                f"{count}x",
+            ))
+    return report

@@ -1,0 +1,29 @@
+"""Numpy-backed neural-network substrate (autograd, layers, optimisers).
+
+Substitutes for PyTorch in this reproduction: reverse-mode autodiff over
+numpy arrays with the layers the SDEA models need (Linear, Embedding,
+LayerNorm, multi-head attention, BiGRU, transformer encoder) and Adam/SGD
+optimisers.
+"""
+
+from . import functional
+from .attention import GlobalAttentionPooling, MultiHeadSelfAttention
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear
+from .module import Module, ModuleList, Parameter
+from .optim import Adam, LinearWarmupSchedule, SGD, clip_grad_norm
+from .rnn import BiGRU, GRU, GRUCell
+from .serialization import BestCheckpoint, load_state, save_state
+from .tensor import Tensor, concatenate, no_grad, ones, stack, where, zeros
+from .transformer import TransformerEncoder, TransformerEncoderLayer
+
+__all__ = [
+    "functional",
+    "Tensor", "no_grad", "concatenate", "stack", "where", "zeros", "ones",
+    "Module", "ModuleList", "Parameter",
+    "Linear", "Embedding", "LayerNorm", "Dropout", "MLP",
+    "MultiHeadSelfAttention", "GlobalAttentionPooling",
+    "GRUCell", "GRU", "BiGRU",
+    "TransformerEncoder", "TransformerEncoderLayer",
+    "SGD", "Adam", "clip_grad_norm", "LinearWarmupSchedule",
+    "save_state", "load_state", "BestCheckpoint",
+]

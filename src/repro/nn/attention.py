@@ -1,0 +1,121 @@
+"""Attention mechanisms.
+
+Contains the multi-head self-attention block used by the mini-BERT
+encoder, and the global-vector attention pooling used by SDEA's relation
+embedding module (Eq. 12–15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+_NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled dot-product multi-head self-attention.
+
+    Parameters
+    ----------
+    dim:
+        Model width; must be divisible by ``num_heads``.
+    num_heads:
+        Number of parallel attention heads.
+    rng:
+        Generator for projection initialisation.
+    dropout:
+        Dropout on the attention probabilities.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, rng)
+        self.key = Linear(dim, dim, rng)
+        self.value = Linear(dim, dim, rng)
+        self.output = Linear(dim, dim, rng)
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def _split_heads(self, x: Tensor, batch: int, steps: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, D_h)
+        return x.reshape(batch, steps, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend within each sequence.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(B, T, D)``.
+        mask:
+            Boolean array ``(B, T)``; ``False`` marks padding keys that must
+            receive zero attention.
+        """
+        batch, steps, _ = x.shape
+        q = self._split_heads(self.query(x), batch, steps)
+        k = self._split_heads(self.key(x), batch, steps)
+        v = self._split_heads(self.value(x), batch, steps)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(self.head_dim)
+        if mask is not None:
+            bias = np.where(mask[:, None, None, :], 0.0, _NEG_INF)
+            scores = scores + Tensor(bias)
+        probs = F.softmax(scores, axis=-1)
+        if self.dropout is not None:
+            probs = self.dropout(probs)
+        context = probs @ v  # (B, H, T, D_h)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, steps, self.dim)
+        return self.output(merged)
+
+
+class GlobalAttentionPooling(Module):
+    """SDEA's neighbor-contribution attention (Eq. 12–15).
+
+    A global attention vector ``h_hat`` is produced by an MLP over the last
+    BiGRU state; each neighbor's contribution is its inner product with
+    ``h_hat``, softmax-normalised, and the pooled output is the weighted sum
+    of the neighbor states.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.head = Linear(dim, dim, rng)
+
+    def forward(self, states: Tensor, last_state: Tensor,
+                mask: Optional[np.ndarray] = None,
+                return_weights: bool = False):
+        """Pool neighbor states into one vector per entity.
+
+        Parameters
+        ----------
+        states:
+            BiGRU outputs ``(B, T, D)`` (one per neighbor).
+        last_state:
+            The final valid BiGRU output per sequence, ``(B, D)``.
+        mask:
+            Boolean ``(B, T)``; ``False`` marks padded neighbor slots.
+        return_weights:
+            Also return the attention weights ``alpha`` of shape ``(B, T)``.
+        """
+        h_hat = self.head(last_state)  # (B, D) — Eq. 12
+        scores = (states * h_hat.reshape(h_hat.shape[0], 1, h_hat.shape[1])).sum(axis=-1)
+        if mask is not None:
+            bias = np.where(mask, 0.0, _NEG_INF)
+            scores = scores + Tensor(bias)
+        alpha = F.softmax(scores, axis=-1)  # (B, T) — Eq. 14
+        pooled = (states * alpha.reshape(alpha.shape[0], alpha.shape[1], 1)).sum(axis=1)
+        if return_weights:
+            return pooled, alpha
+        return pooled

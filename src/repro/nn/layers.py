@@ -1,0 +1,137 @@
+"""Core neural layers: Linear, Embedding, LayerNorm, Dropout, MLP.
+
+All layers take a :class:`numpy.random.Generator` at construction for
+deterministic initialisation; Dropout additionally consumes randomness at
+forward time from its own child generator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output width.
+    rng:
+        Generator for Xavier-uniform weight initialisation.
+    bias:
+        Whether to include the additive bias term.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias: Optional[Parameter] = (
+            Parameter(np.zeros(out_features)) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator, std: float = 0.02):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std))
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings}): "
+                f"got min={ids.min()}, max={ids.max()}"
+            )
+        return self.weight.take(ids, axis=0)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the final axis with learned scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, self.training)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden widths.
+
+    Used throughout the paper: attribute-head (Eq. 7), attention head
+    (Eq. 12) and the joint representation (Eq. 16) are all MLP layers.
+    """
+
+    def __init__(self, in_features: int, hidden: Sequence[int],
+                 out_features: int, rng: np.random.Generator,
+                 activation: str = "relu", dropout: float = 0.0):
+        super().__init__()
+        if activation not in ("relu", "tanh", "gelu"):
+            raise ValueError(f"unsupported activation: {activation}")
+        self.activation = activation
+        widths = [in_features, *hidden, out_features]
+        self.layers = ModuleList(
+            Linear(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)
+        )
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "relu":
+            return x.relu()
+        if self.activation == "tanh":
+            return x.tanh()
+        return F.gelu(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        for i, layer in enumerate(self.layers):
+            out = layer(out)
+            if i < len(self.layers) - 1:
+                out = self._activate(out)
+                if self.dropout is not None:
+                    out = self.dropout(out)
+        return out

@@ -1,0 +1,110 @@
+"""Gated recurrent units: GRUCell, GRU, and bidirectional GRU.
+
+Implements the paper's relation-embedding recurrence (Eq. 8–11):
+
+* reset gate   ``r_t = sigmoid(W_r x_t + U_r h_{t-1} + b_r)``
+* candidate    ``h~_t = tanh(W x_t + U (r_t * h_{t-1}) + b_h)``
+* update gate  ``z_t = sigmoid(W_z x_t + U_z h_{t-1} + b_z)``
+* output       ``h_t = (1 - z_t) * h_{t-1} + z_t * h~_t``
+
+The bidirectional variant sums the forward and backward hidden states,
+exactly as SDEA does ("the final output h_t ... is the sum of the two
+directions").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, stack, where
+
+
+class GRUCell(Module):
+    """Single GRU step; processes one timestep of a batch."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Gate weights packed per-gate for clarity over speed.
+        self.w_r = Parameter(init.xavier_uniform((input_dim, hidden_dim), rng))
+        self.u_r = Parameter(init.xavier_uniform((hidden_dim, hidden_dim), rng))
+        self.b_r = Parameter(np.zeros(hidden_dim))
+        self.w_z = Parameter(init.xavier_uniform((input_dim, hidden_dim), rng))
+        self.u_z = Parameter(init.xavier_uniform((hidden_dim, hidden_dim), rng))
+        self.b_z = Parameter(np.zeros(hidden_dim))
+        self.w_h = Parameter(init.xavier_uniform((input_dim, hidden_dim), rng))
+        self.u_h = Parameter(init.xavier_uniform((hidden_dim, hidden_dim), rng))
+        self.b_h = Parameter(np.zeros(hidden_dim))
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        """Advance one step: ``(B, D_in), (B, D_h) -> (B, D_h)``."""
+        r = (x @ self.w_r + h_prev @ self.u_r + self.b_r).sigmoid()
+        z = (x @ self.w_z + h_prev @ self.u_z + self.b_z).sigmoid()
+        candidate = (x @ self.w_h + (r * h_prev) @ self.u_h + self.b_h).tanh()
+        return (1.0 - z) * h_prev + z * candidate
+
+
+class GRU(Module):
+    """Unidirectional GRU over padded sequences.
+
+    Accepts a boolean mask marking valid timesteps; at padded positions the
+    hidden state is carried through unchanged so padding never contributes.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator,
+                 reverse: bool = False):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+        self.reverse = reverse
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Run the recurrence.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(B, T, D_in)``.
+        mask:
+            Optional boolean array ``(B, T)``; ``False`` marks padding.
+
+        Returns
+        -------
+        Tensor of shape ``(B, T, D_h)`` with a hidden state per timestep.
+        """
+        batch, steps, _ = x.shape
+        if mask is None:
+            mask = np.ones((batch, steps), dtype=bool)
+        order = range(steps - 1, -1, -1) if self.reverse else range(steps)
+        h = Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs: list[Optional[Tensor]] = [None] * steps
+        for t in order:
+            x_t = x[:, t, :]
+            h_new = self.cell(x_t, h)
+            step_mask = mask[:, t:t + 1]
+            h = where(step_mask, h_new, h)
+            outputs[t] = h
+        return stack(outputs, axis=1)
+
+
+class BiGRU(Module):
+    """Bidirectional GRU whose outputs are the sum of both directions.
+
+    This is the neighbor-correlation encoder of SDEA's relation embedding
+    module (Section III-B1).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.forward_gru = GRU(input_dim, hidden_dim, rng, reverse=False)
+        self.backward_gru = GRU(input_dim, hidden_dim, rng, reverse=True)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """``(B, T, D_in) -> (B, T, D_h)`` as forward + backward states."""
+        return self.forward_gru(x, mask) + self.backward_gru(x, mask)

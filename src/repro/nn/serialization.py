@@ -1,0 +1,58 @@
+"""Model checkpointing to ``.npz`` archives.
+
+Keeps best-validation checkpoints during training (the paper returns "the
+checkpoint with the best Hits@1 on the validation set").
+"""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .module import Module
+
+
+def save_state(module: Module, path: Union[str, Path]) -> None:
+    """Serialise a module's parameters to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    # np.savez_compressed keys may not contain '/', dots are fine.
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: Union[str, Path]) -> None:
+    """Restore parameters previously written by :func:`save_state`."""
+    with np.load(Path(path)) as archive:
+        state: Dict[str, np.ndarray] = {k: archive[k] for k in archive.files}
+    module.load_state_dict(state)
+
+
+class BestCheckpoint:
+    """In-memory keeper of the best-scoring parameter snapshot.
+
+    The training loops validate every epoch; this object stores a deep copy
+    of the parameters whenever the monitored metric improves and can
+    restore them at the end of training.
+    """
+
+    def __init__(self, module: Module):
+        self._module = module
+        self.best_score = -np.inf
+        self._best_state: Dict[str, np.ndarray] | None = None
+
+    def update(self, score: float) -> bool:
+        """Record a snapshot if ``score`` improves; return True on improvement."""
+        if score > self.best_score:
+            self.best_score = score
+            self._best_state = copy.deepcopy(self._module.state_dict())
+            return True
+        return False
+
+    def restore(self) -> None:
+        """Load the best snapshot back into the module (no-op if none)."""
+        if self._best_state is not None:
+            self._module.load_state_dict(self._best_state)

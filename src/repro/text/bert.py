@@ -1,0 +1,120 @@
+"""MiniBert: a small BERT-style masked language model.
+
+Substitutes for the HuggingFace pre-trained BERT used by the paper's
+attribute-embedding module.  Architecture follows BERT exactly at reduced
+scale: learned token + position embeddings, LayerNorm, a stack of post-LN
+transformer encoder blocks, and the final hidden state of the ``[CLS]``
+token as the sequence representation C(e) (paper Eq. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Tensor,
+    TransformerEncoder,
+)
+from .tokenizer import WordPieceTokenizer
+
+
+@dataclass
+class BertConfig:
+    """Hyper-parameters for :class:`MiniBert`.
+
+    Defaults are sized for CPU-scale experiments; the paper's BERT-base
+    values would be dim=768, num_heads=12, num_layers=12, max_len=128.
+    """
+
+    vocab_size: int
+    dim: int = 64
+    num_heads: int = 4
+    ff_dim: int = 128
+    num_layers: int = 2
+    max_len: int = 64
+    dropout: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.dim % self.num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        if self.vocab_size < 5:
+            raise ValueError("vocab_size must cover the special tokens")
+
+
+class MiniBert(Module):
+    """BERT-style encoder producing per-token states and a [CLS] vector."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.dim, rng)
+        self.position_embedding = Embedding(config.max_len, config.dim, rng)
+        self.embed_norm = LayerNorm(config.dim)
+        self.embed_dropout = Dropout(config.dropout, rng)
+        self.encoder = TransformerEncoder(
+            config.dim, config.num_heads, config.ff_dim,
+            config.num_layers, rng, config.dropout,
+        )
+
+    def forward(self, ids: np.ndarray,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        """Encode token ids ``(B, T)`` into hidden states ``(B, T, D)``."""
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError(f"expected (batch, seq) ids, got shape {ids.shape}")
+        if ids.shape[1] > self.config.max_len:
+            raise ValueError(
+                f"sequence length {ids.shape[1]} exceeds max_len "
+                f"{self.config.max_len}"
+            )
+        positions = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
+        hidden = self.token_embedding(ids) + self.position_embedding(positions)
+        hidden = self.embed_dropout(self.embed_norm(hidden))
+        return self.encoder(hidden, mask)
+
+    def encode_cls(self, ids: np.ndarray,
+                   mask: Optional[np.ndarray] = None) -> Tensor:
+        """Return C(e): the final hidden state of the leading [CLS] token."""
+        hidden = self.forward(ids, mask)
+        return hidden[:, 0, :]
+
+
+class BertForMaskedLM(Module):
+    """MiniBert plus a tied-weight masked-language-model head."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator):
+        super().__init__()
+        self.bert = MiniBert(config, rng)
+        self.transform = Linear(config.dim, config.dim, rng)
+        self.norm = LayerNorm(config.dim)
+        # Output projection shares no weights with the input embedding to
+        # keep the autograd graph simple; BERT's tying is an optimisation,
+        # not required for the representation property SDEA uses.
+        self.decoder = Linear(config.dim, config.vocab_size, rng)
+
+    def forward(self, ids: np.ndarray,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        """Return MLM logits of shape ``(B, T, vocab_size)``."""
+        hidden = self.bert(ids, mask)
+        transformed = self.norm(self.transform(hidden).tanh())
+        return self.decoder(transformed)
+
+
+def encode_batch(tokenizer: WordPieceTokenizer, texts, max_len: int
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode a list of strings into padded id / mask arrays."""
+    ids = np.empty((len(texts), max_len), dtype=np.int64)
+    mask = np.empty((len(texts), max_len), dtype=bool)
+    for row, text in enumerate(texts):
+        row_ids, row_mask = tokenizer.encode(text, max_len)
+        ids[row] = row_ids
+        mask[row] = row_mask
+    return ids, mask

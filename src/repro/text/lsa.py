@@ -1,0 +1,79 @@
+"""LSA (latent semantic analysis) token vectors and IDF statistics.
+
+Substitution rationale: the paper's attribute module starts from a
+*pre-trained* BERT whose token embeddings already encode distributional
+semantics, and whose attention learns to emphasise informative tokens.
+With no downloadable weights, we pre-train those two properties directly
+from the corpus at hand:
+
+* token embeddings are initialised with **truncated-SVD vectors of the
+  IDF-weighted document–term matrix** (classic LSA) — tokens that co-occur
+  across attribute sequences get nearby vectors;
+* pooling uses **IDF weights**, the statistical analogue of attention
+  down-weighting stopwords.
+
+Both are computed once from the tokenised corpus and are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """IDF weights plus LSA token vectors for a tokenised corpus."""
+
+    idf: np.ndarray            # (vocab_size,)
+    token_vectors: np.ndarray  # (vocab_size, dim), unit rows
+
+
+def document_term_matrix(ids: np.ndarray, mask: np.ndarray,
+                         vocab_size: int) -> np.ndarray:
+    """Dense (n_docs × vocab) count matrix from padded token-id batches."""
+    n_docs = len(ids)
+    matrix = np.zeros((n_docs, vocab_size))
+    rows = np.repeat(np.arange(n_docs), ids.shape[1])
+    flat_ids = ids.reshape(-1)
+    flat_mask = mask.reshape(-1)
+    np.add.at(matrix, (rows[flat_mask], flat_ids[flat_mask]), 1.0)
+    return matrix
+
+
+def inverse_document_frequency(matrix: np.ndarray) -> np.ndarray:
+    """Smoothed IDF per token: ``log((N+1)/(df+1)) + 1``."""
+    n_docs = matrix.shape[0]
+    df = (matrix > 0).sum(axis=0)
+    return np.log((n_docs + 1.0) / (df + 1.0)) + 1.0
+
+
+def lsa_token_vectors(matrix: np.ndarray, idf: np.ndarray,
+                      dim: int) -> np.ndarray:
+    """Truncated-SVD token vectors of the IDF-weighted matrix.
+
+    Rows are L2-normalised; tokens never observed in the corpus (e.g.
+    unused special tokens) receive zero vectors.
+    """
+    weighted = matrix * idf[None, :]
+    # SVD of (docs × vocab); right singular vectors give token directions.
+    _, singular, vt = np.linalg.svd(weighted, full_matrices=False)
+    k = min(dim, len(singular))
+    vectors = vt[:k].T * np.sqrt(singular[:k])[None, :]
+    if k < dim:
+        vectors = np.pad(vectors, ((0, 0), (0, dim - k)))
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    observed = matrix.sum(axis=0) > 0
+    vectors = np.where(
+        observed[:, None], vectors / np.maximum(norms, 1e-12), 0.0
+    )
+    return vectors
+
+
+def corpus_stats(ids: np.ndarray, mask: np.ndarray, vocab_size: int,
+                 dim: int) -> CorpusStats:
+    """One-call IDF + LSA computation for a tokenised corpus."""
+    matrix = document_term_matrix(ids, mask, vocab_size)
+    idf = inverse_document_frequency(matrix)
+    return CorpusStats(idf=idf, token_vectors=lsa_token_vectors(matrix, idf, dim))

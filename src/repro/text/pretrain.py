@@ -1,0 +1,133 @@
+"""Masked-language-model pre-training for MiniBert.
+
+The paper fine-tunes a *pre-trained* BERT; since no pre-trained weights can
+be downloaded in this environment, we pre-train MiniBert in-repo on a
+corpus drawn from the knowledge graphs' attribute values (plus any extra
+text the caller supplies).  This gives the attribute-embedding module the
+property it needs: tokens that co-occur or share subwords produce nearby
+[CLS] representations before any alignment supervision is seen.
+
+Masking follows BERT: 15% of tokens are selected; of these 80% become
+``[MASK]``, 10% a random token, 10% stay unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..nn import Adam, clip_grad_norm
+from ..nn import functional as F
+from .bert import BertConfig, BertForMaskedLM
+from .tokenizer import WordPieceTokenizer
+
+IGNORE_INDEX = -100
+
+
+@dataclass
+class PretrainConfig:
+    """Hyper-parameters for MLM pre-training."""
+
+    epochs: int = 3
+    batch_size: int = 16
+    lr: float = 1e-3
+    mask_prob: float = 0.15
+    max_len: int = 32
+    max_grad_norm: float = 5.0
+    seed: int = 13
+
+
+def mask_tokens(ids: np.ndarray, attention: np.ndarray, mask_id: int,
+                vocab_size: int, rng: np.random.Generator,
+                mask_prob: float = 0.15) -> tuple[np.ndarray, np.ndarray]:
+    """Apply BERT's 80/10/10 masking.
+
+    Returns ``(corrupted_ids, labels)`` where ``labels`` is the original
+    token at masked positions and :data:`IGNORE_INDEX` elsewhere.  Position
+    0 ([CLS]) and padding are never masked.
+    """
+    ids = np.array(ids, copy=True)
+    labels = np.full_like(ids, IGNORE_INDEX)
+    candidates = attention.copy()
+    candidates[:, 0] = False  # never mask [CLS]
+    selection = (rng.random(ids.shape) < mask_prob) & candidates
+    labels[selection] = ids[selection]
+
+    roll = rng.random(ids.shape)
+    replace_mask = selection & (roll < 0.8)
+    random_mask = selection & (roll >= 0.8) & (roll < 0.9)
+    ids[replace_mask] = mask_id
+    # random tokens drawn from the non-special range
+    n_random = int(random_mask.sum())
+    if n_random:
+        ids[random_mask] = rng.integers(5, vocab_size, size=n_random)
+    return ids, labels
+
+
+def pretrain_mlm(model: BertForMaskedLM, tokenizer: WordPieceTokenizer,
+                 corpus: Sequence[str], config: PretrainConfig,
+                 log: list | None = None) -> List[float]:
+    """Pre-train ``model`` on ``corpus`` lines; return per-epoch mean losses."""
+    rng = np.random.default_rng(config.seed)
+    texts = [line for line in corpus if line.strip()]
+    if not texts:
+        raise ValueError("pre-training corpus is empty")
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    vocab = tokenizer.vocab
+    epoch_losses: List[float] = []
+
+    model.train()
+    for _ in range(config.epochs):
+        order = rng.permutation(len(texts))
+        losses: List[float] = []
+        for start in range(0, len(order), config.batch_size):
+            batch_texts = [texts[i] for i in order[start:start + config.batch_size]]
+            ids = np.empty((len(batch_texts), config.max_len), dtype=np.int64)
+            attention = np.empty((len(batch_texts), config.max_len), dtype=bool)
+            for row, text in enumerate(batch_texts):
+                row_ids, row_mask = tokenizer.encode(text, config.max_len)
+                ids[row] = row_ids
+                attention[row] = row_mask
+            corrupted, labels = mask_tokens(
+                ids, attention, vocab.mask_id, len(vocab), rng, config.mask_prob
+            )
+            if (labels == IGNORE_INDEX).all():
+                continue
+            logits = model(corrupted, attention)
+            flat_logits = logits.reshape(-1, len(vocab))
+            loss = F.cross_entropy(flat_logits, labels.reshape(-1),
+                                   ignore_index=IGNORE_INDEX)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.max_grad_norm)
+            optimizer.step()
+            losses.append(loss.item())
+        mean_loss = float(np.mean(losses)) if losses else float("nan")
+        epoch_losses.append(mean_loss)
+        if log is not None:
+            log.append(mean_loss)
+    model.eval()
+    return epoch_losses
+
+
+def build_pretrained_bert(corpus: Iterable[str], bert_config: BertConfig | None = None,
+                          pretrain_config: PretrainConfig | None = None,
+                          vocab_size: int = 1200, seed: int = 13
+                          ) -> tuple[BertForMaskedLM, WordPieceTokenizer]:
+    """Train tokenizer + MLM from a corpus; the one-call pre-training path.
+
+    Returns the trained MLM wrapper (whose ``.bert`` is the encoder SDEA
+    fine-tunes) and the tokenizer.
+    """
+    corpus = list(corpus)
+    tokenizer = WordPieceTokenizer.train(corpus, vocab_size=vocab_size)
+    if bert_config is None:
+        bert_config = BertConfig(vocab_size=tokenizer.vocab_size)
+    if pretrain_config is None:
+        pretrain_config = PretrainConfig(seed=seed)
+    rng = np.random.default_rng(seed)
+    model = BertForMaskedLM(bert_config, rng)
+    pretrain_mlm(model, tokenizer, corpus, pretrain_config)
+    return model, tokenizer

@@ -1,0 +1,81 @@
+"""Vocabulary with the BERT special tokens.
+
+Token ids are stable across save/load and insertion order; special tokens
+always occupy the first five slots so model embeddings can rely on them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+MASK_TOKEN = "[MASK]"
+
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN)
+
+
+class Vocab:
+    """Bidirectional token ↔ id mapping.
+
+    The five BERT special tokens are inserted first automatically; further
+    tokens get consecutive ids in insertion order.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for token in SPECIAL_TOKENS:
+            self.add(token)
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Add a token (idempotent); return its id."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    def id_of(self, token: str) -> int:
+        """Return the token's id, or the [UNK] id for unknown tokens."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK_TOKEN]
+
+    @property
+    def tokens(self) -> List[str]:
+        """All tokens in id order (copy)."""
+        return list(self._id_to_token)

@@ -1,0 +1,229 @@
+"""Alignment: similarity, metrics, matching, evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.align import (
+    AlignmentMetrics,
+    cosine_similarity_matrix,
+    euclidean_distance_matrix,
+    evaluate_by_degree_bucket,
+    evaluate_embeddings,
+    evaluate_similarity,
+    greedy_matching,
+    hits_at_1_from_assignment,
+    is_stable,
+    metrics_from_ranks,
+    rank_of_target,
+    stable_matching,
+    topk_indices,
+)
+
+
+class TestSimilarity:
+    def test_cosine_identity(self, rng):
+        x = rng.normal(size=(5, 8))
+        sim = cosine_similarity_matrix(x, x)
+        np.testing.assert_allclose(np.diag(sim), np.ones(5), rtol=1e-9)
+        assert (sim <= 1.0 + 1e-9).all()
+
+    def test_cosine_orthogonal(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert cosine_similarity_matrix(a, b)[0, 0] == pytest.approx(0.0)
+
+    def test_cosine_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity_matrix(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_euclidean_known(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0], [0.0, 0.0]])
+        np.testing.assert_allclose(
+            euclidean_distance_matrix(a, b), [[5.0, 0.0]], atol=1e-9
+        )
+
+    def test_topk_sorted_descending(self, rng):
+        sim = rng.normal(size=(4, 10))
+        top = topk_indices(sim, 3)
+        for row in range(4):
+            scores = sim[row, top[row]]
+            assert (np.diff(scores) <= 1e-12).all()
+            assert set(top[row]) == set(np.argsort(-sim[row])[:3])
+
+    def test_topk_clips_k(self, rng):
+        sim = rng.normal(size=(2, 3))
+        assert topk_indices(sim, 10).shape == (2, 3)
+
+    def test_rank_of_target_basic(self):
+        sim = np.array([[0.9, 0.5, 0.1], [0.2, 0.8, 0.5]])
+        ranks = rank_of_target(sim, np.array([0, 2]))
+        assert list(ranks) == [1, 2]
+
+    def test_rank_of_target_ties_pessimistic(self):
+        sim = np.array([[0.5, 0.5, 0.5]])
+        assert rank_of_target(sim, np.array([1]))[0] == 3
+
+
+class TestMetrics:
+    def test_perfect_ranks(self):
+        metrics = metrics_from_ranks([1, 1, 1])
+        assert metrics.hits_at_1 == 1.0
+        assert metrics.mrr == 1.0
+
+    def test_known_values(self):
+        metrics = metrics_from_ranks([1, 2, 10, 100])
+        assert metrics.hits_at_1 == 0.25
+        assert metrics.hits_at_10 == 0.75
+        assert metrics.mrr == pytest.approx((1 + 0.5 + 0.1 + 0.01) / 4)
+
+    def test_empty_is_zero(self):
+        metrics = metrics_from_ranks([])
+        assert metrics.num_pairs == 0
+        assert metrics.hits_at_1 == 0.0
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            metrics_from_ranks([0, 1])
+
+    def test_as_dict_and_str(self):
+        metrics = metrics_from_ranks([1, 2])
+        d = metrics.as_dict()
+        assert set(d) == {"H@1", "H@10", "MRR", "pairs"}
+        assert "H@1" in str(metrics)
+
+    def test_evaluate_similarity(self):
+        sim = np.eye(4)
+        metrics = evaluate_similarity(sim, np.arange(4))
+        assert metrics.hits_at_1 == 1.0
+
+    def test_hits_from_assignment(self):
+        assignment = {0: 0, 1: 2}
+        assert hits_at_1_from_assignment(assignment, np.array([0, 1, 2])) == \
+            pytest.approx(1 / 3)
+
+    def test_hits_from_assignment_empty(self):
+        assert hits_at_1_from_assignment({}, np.array([])) == 0.0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1,
+                max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_metric_bounds_property(ranks):
+    metrics = metrics_from_ranks(ranks)
+    assert 0.0 <= metrics.hits_at_1 <= metrics.hits_at_10 <= 1.0
+    assert 0.0 < metrics.mrr <= 1.0
+    assert metrics.hits_at_1 <= metrics.mrr <= 1.0
+
+
+class TestMatching:
+    def test_greedy_takes_best_cells(self):
+        sim = np.array([[0.9, 0.1], [0.8, 0.7]])
+        assignment = greedy_matching(sim)
+        assert assignment == {0: 0, 1: 1}
+
+    def test_stable_matching_is_stable(self, rng):
+        sim = rng.normal(size=(6, 6))
+        assignment = stable_matching(sim)
+        assert len(assignment) == 6
+        assert is_stable(sim, assignment)
+
+    def test_stable_matching_rectangular(self, rng):
+        sim = rng.normal(size=(5, 3))
+        assignment = stable_matching(sim)
+        assert len(assignment) == 3
+        cols = list(assignment.values())
+        assert len(set(cols)) == len(cols)
+
+    def test_stable_matching_one_to_one(self, rng):
+        sim = rng.normal(size=(7, 7))
+        assignment = stable_matching(sim)
+        assert len(set(assignment.values())) == len(assignment)
+
+    def test_identity_matrix_matches_diagonal(self):
+        sim = np.eye(4) + 0.01
+        assert stable_matching(sim) == {i: i for i in range(4)}
+        assert greedy_matching(sim) == {i: i for i in range(4)}
+
+    def test_is_stable_detects_blocking_pair(self):
+        sim = np.array([[1.0, 0.9], [0.8, 0.1]])
+        bad = {0: 1, 1: 0}  # 0 and col0 prefer each other → blocking
+        assert not is_stable(sim, bad)
+
+
+@given(hnp.arrays(np.float64, st.tuples(st.integers(1, 8), st.integers(1, 8)),
+                  elements=st.floats(min_value=-1, max_value=1,
+                                     allow_nan=False)))
+@settings(max_examples=50, deadline=None)
+def test_stable_matching_property(sim):
+    # break ties deterministically to keep stability well-defined
+    sim = sim + np.arange(sim.size).reshape(sim.shape) * 1e-9
+    assignment = stable_matching(sim)
+    assert len(assignment) == min(sim.shape)
+    assert is_stable(sim, assignment)
+
+
+class TestEvaluator:
+    def test_perfect_embeddings(self, rng):
+        emb = rng.normal(size=(10, 6))
+        links = [(i, i) for i in range(10)]
+        result = evaluate_embeddings(emb, emb, links)
+        assert result.metrics.hits_at_1 == 1.0
+
+    def test_stable_matching_flag(self, rng):
+        emb = rng.normal(size=(8, 4))
+        links = [(i, i) for i in range(8)]
+        result = evaluate_embeddings(emb, emb, links,
+                                     with_stable_matching=True)
+        assert result.stable_hits_at_1 == 1.0
+        assert "stable" in str(result)
+
+    def test_empty_links_rejected(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_embeddings(rng.normal(size=(2, 2)),
+                                rng.normal(size=(2, 2)), [])
+
+    def test_degree_buckets(self, tiny_pair, rng):
+        n1 = tiny_pair.kg1.num_entities
+        n2 = tiny_pair.kg2.num_entities
+        emb1 = rng.normal(size=(n1, 4))
+        emb2 = rng.normal(size=(n2, 4))
+        buckets = evaluate_by_degree_bucket(emb1, emb2, tiny_pair,
+                                            tiny_pair.links)
+        assert set(buckets) == {"1~3", "4~10", "11+"}
+        total = sum(m.num_pairs for m in buckets.values())
+        assert total <= len(tiny_pair.links)
+
+
+class TestBootstrapCI:
+    def test_point_estimate_matches_metrics(self):
+        from repro.align import bootstrap_confidence_interval
+        ranks = [1, 1, 2, 5, 20]
+        estimate, lower, upper = bootstrap_confidence_interval(
+            ranks, metric="hits1"
+        )
+        assert estimate == pytest.approx(0.4)
+        assert lower <= estimate <= upper
+
+    def test_interval_narrows_with_more_data(self):
+        from repro.align import bootstrap_confidence_interval
+        short = bootstrap_confidence_interval([1, 2] * 5, "mrr", seed=1)
+        long = bootstrap_confidence_interval([1, 2] * 500, "mrr", seed=1)
+        assert (long[2] - long[1]) < (short[2] - short[1])
+
+    def test_empty_and_unknown_metric(self):
+        from repro.align import bootstrap_confidence_interval
+        assert bootstrap_confidence_interval([], "hits1") == (0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1], metric="f1")
+
+    def test_all_metrics_bounded(self):
+        from repro.align import bootstrap_confidence_interval
+        for metric in ("hits1", "hits10", "mrr"):
+            estimate, lower, upper = bootstrap_confidence_interval(
+                [1, 3, 7, 15, 40], metric, seed=2
+            )
+            assert 0.0 <= lower <= estimate <= upper <= 1.0

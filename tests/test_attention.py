@@ -1,0 +1,80 @@
+"""Attention: multi-head self-attention and SDEA's global pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GlobalAttentionPooling, MultiHeadSelfAttention, Tensor
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        out = attn(Tensor(np.ones((2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_rejects_indivisible_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3, rng)
+
+    def test_masked_keys_do_not_influence_output(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        base = np.random.default_rng(0).normal(size=(1, 4, 8))
+        variant = base.copy()
+        variant[0, 3] = 100.0
+        mask = np.array([[True, True, True, False]])
+        out1 = attn(Tensor(base), mask).data
+        out2 = attn(Tensor(variant), mask).data
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-9)
+
+    def test_gradients_flow(self, rng):
+        attn = MultiHeadSelfAttention(8, 4, rng)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 3, 8)),
+                   requires_grad=True)
+        attn(x).sum().backward()
+        assert np.abs(x.grad).sum() > 0
+
+    def test_permutation_equivariance_without_positions(self, rng):
+        """Self-attention itself is permutation-equivariant."""
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        x = np.random.default_rng(2).normal(size=(1, 4, 8))
+        perm = [2, 0, 3, 1]
+        out = attn(Tensor(x)).data
+        out_perm = attn(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(out[:, perm], out_perm, atol=1e-9)
+
+
+class TestGlobalAttentionPooling:
+    def test_output_shape(self, rng):
+        pool = GlobalAttentionPooling(6, rng)
+        states = Tensor(np.random.default_rng(3).normal(size=(2, 5, 6)))
+        last = states[np.arange(2), np.array([4, 4]), :]
+        out = pool(states, last)
+        assert out.shape == (2, 6)
+
+    def test_weights_sum_to_one_over_valid(self, rng):
+        pool = GlobalAttentionPooling(6, rng)
+        states = Tensor(np.random.default_rng(4).normal(size=(2, 5, 6)))
+        mask = np.array([[1, 1, 1, 0, 0], [1, 1, 1, 1, 1]], dtype=bool)
+        last = states[np.arange(2), np.array([2, 4]), :]
+        _, alpha = pool(states, last, mask, return_weights=True)
+        np.testing.assert_allclose(alpha.data.sum(axis=1), np.ones(2),
+                                   rtol=1e-9)
+        # padded slots get (numerically) zero weight
+        np.testing.assert_allclose(alpha.data[0, 3:], np.zeros(2), atol=1e-20)
+
+    def test_pooled_is_weighted_sum(self, rng):
+        pool = GlobalAttentionPooling(4, rng)
+        states = Tensor(np.random.default_rng(5).normal(size=(1, 3, 4)))
+        last = states[:, 2, :]
+        pooled, alpha = pool(states, last, return_weights=True)
+        manual = (states.data * alpha.data[:, :, None]).sum(axis=1)
+        np.testing.assert_allclose(pooled.data, manual, rtol=1e-12)
+
+    def test_single_neighbor_gets_full_weight(self, rng):
+        pool = GlobalAttentionPooling(4, rng)
+        states = Tensor(np.random.default_rng(6).normal(size=(1, 3, 4)))
+        mask = np.array([[True, False, False]])
+        last = states[:, 0, :]
+        pooled, alpha = pool(states, last, mask, return_weights=True)
+        np.testing.assert_allclose(alpha.data[0], [1.0, 0.0, 0.0], atol=1e-12)
+        np.testing.assert_allclose(pooled.data, states.data[:, 0], rtol=1e-12)

@@ -1,0 +1,129 @@
+"""Extended baselines: NAEA, TransEdge, IPTransE, KECG, HMAN, RDGCN/HGCN."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HGCN,
+    HMAN,
+    HMANConfig,
+    IPTransE,
+    KECG,
+    KECGConfig,
+    NAEA,
+    RDGCN,
+    RDGCNConfig,
+    TransEdge,
+    VariantConfig,
+    name_features,
+)
+from repro.baselines.transe_variants import (
+    _merged_triples,
+    _neighbor_tables,
+    _sample_paths,
+)
+
+FAST_VARIANT = VariantConfig(dim=16, epochs=4)
+
+
+def _check(aligner, pair, split):
+    aligner.fit(pair, split)
+    emb1, emb2 = aligner.embeddings(1), aligner.embeddings(2)
+    assert emb1.shape[0] == pair.kg1.num_entities
+    assert emb2.shape[0] == pair.kg2.num_entities
+    assert np.isfinite(emb1).all() and np.isfinite(emb2).all()
+    result = aligner.evaluate(split.test)
+    assert 0.0 <= result.metrics.hits_at_1 <= 1.0
+    return result
+
+
+class TestTransEVariants:
+    def test_transedge(self, tiny_pair, tiny_split):
+        _check(TransEdge(VariantConfig(dim=16, epochs=4)),
+               tiny_pair, tiny_split)
+
+    def test_naea(self, tiny_pair, tiny_split):
+        _check(NAEA(VariantConfig(dim=16, epochs=3)), tiny_pair, tiny_split)
+
+    def test_iptranse(self, tiny_pair, tiny_split):
+        _check(IPTransE(VariantConfig(dim=16, epochs=4)),
+               tiny_pair, tiny_split)
+
+    def test_embeddings_before_fit(self):
+        with pytest.raises(RuntimeError):
+            TransEdge().embeddings(1)
+
+    def test_merged_triples_offsets(self, tiny_pair):
+        triples, total_e, total_r, offset = _merged_triples(tiny_pair)
+        assert offset == tiny_pair.kg1.num_entities
+        assert total_e == (tiny_pair.kg1.num_entities
+                           + tiny_pair.kg2.num_entities)
+        assert triples[:, [0, 2]].max() < total_e
+        assert triples[:, 1].max() < total_r
+
+    def test_neighbor_tables_shapes(self, tiny_pair):
+        ids, rels, mask = _neighbor_tables(tiny_pair, cap=4)
+        total = tiny_pair.kg1.num_entities + tiny_pair.kg2.num_entities
+        assert ids.shape == (total, 4)
+        # every row has at least one valid slot (self fallback)
+        assert mask.any(axis=1).all()
+
+    def test_sample_paths_validity(self, tiny_pair):
+        rng = np.random.default_rng(0)
+        paths = _sample_paths(tiny_pair, rng, max_paths=100)
+        if len(paths):
+            total = tiny_pair.kg1.num_entities + tiny_pair.kg2.num_entities
+            assert paths[:, [0, 2, 4]].max() < total
+            # no degenerate loops h == t
+            assert (paths[:, 0] != paths[:, 4]).all()
+
+
+class TestKECG:
+    def test_end_to_end(self, tiny_pair, tiny_split):
+        _check(KECG(KECGConfig(dim=16, epochs=5)), tiny_pair, tiny_split)
+
+    def test_embeddings_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KECG().embeddings(1)
+
+
+class TestHMAN:
+    def test_end_to_end(self, tiny_pair, tiny_split):
+        result = _check(HMAN(HMANConfig(dim=16, profile_dim=8, epochs=10)),
+                        tiny_pair, tiny_split)
+        assert result.metrics.num_pairs == len(tiny_split.test)
+
+    def test_embedding_width_is_three_aspects(self, tiny_pair, tiny_split):
+        config = HMANConfig(dim=16, profile_dim=8, epochs=2)
+        aligner = HMAN(config)
+        aligner.fit(tiny_pair, tiny_split)
+        assert aligner.embeddings(1).shape[1] == 16 + 8 + 8
+
+
+class TestNameGCN:
+    def test_name_features_aligned_for_equal_names(self, tiny_pair):
+        feat1, feat2 = name_features(tiny_pair, dim=24)
+        assert feat1.shape[1] == feat2.shape[1] == 24
+        # linked entities share (most of) their names in the tiny pair,
+        # so their feature similarity should beat random pairs on average
+        links = tiny_pair.links[:20]
+        matched = np.mean([feat1[a] @ feat2[b] for a, b in links])
+        rng = np.random.default_rng(0)
+        shuffled = np.mean([
+            feat1[a] @ feat2[links[rng.integers(len(links))][1]]
+            for a, _ in links
+        ])
+        assert matched > shuffled
+
+    def test_rdgcn_end_to_end(self, tiny_pair, tiny_split):
+        result = _check(RDGCN(RDGCNConfig(dim=16, epochs=10)),
+                        tiny_pair, tiny_split)
+        # name features make it clearly better than random
+        assert result.metrics.hits_at_1 > 3.0 / len(tiny_split.test)
+
+    def test_hgcn_is_not_relation_aware(self):
+        assert HGCN().config.relation_aware is False
+        assert RDGCN().config.relation_aware is True
+
+    def test_hgcn_end_to_end(self, tiny_pair, tiny_split):
+        _check(HGCN(RDGCNConfig(dim=16, epochs=10)), tiny_pair, tiny_split)

@@ -1,0 +1,209 @@
+"""MiniBert encoder, MLM head, masking, and LSA statistics."""
+
+import numpy as np
+import pytest
+
+from repro.text import (
+    BertConfig,
+    BertForMaskedLM,
+    IGNORE_INDEX,
+    MiniBert,
+    PretrainConfig,
+    WordPieceTokenizer,
+    encode_batch,
+    mask_tokens,
+    pretrain_mlm,
+)
+from repro.text.lsa import (
+    corpus_stats,
+    document_term_matrix,
+    inverse_document_frequency,
+    lsa_token_vectors,
+)
+
+CORPUS = [
+    "alpha beta gamma delta",
+    "alpha beta gamma",
+    "delta epsilon zeta",
+    "beta gamma delta epsilon",
+] * 3
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return WordPieceTokenizer.train(CORPUS, vocab_size=200)
+
+
+@pytest.fixture()
+def config(tokenizer):
+    return BertConfig(vocab_size=tokenizer.vocab_size, dim=16, num_heads=2,
+                      ff_dim=32, num_layers=1, max_len=12, dropout=0.0)
+
+
+class TestBertConfig:
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            BertConfig(vocab_size=100, dim=10, num_heads=3)
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(ValueError):
+            BertConfig(vocab_size=3)
+
+
+class TestMiniBert:
+    def test_hidden_shape(self, config, rng):
+        bert = MiniBert(config, rng)
+        ids = np.zeros((2, 8), dtype=int)
+        assert bert(ids).shape == (2, 8, 16)
+
+    def test_cls_vector_shape(self, config, rng):
+        bert = MiniBert(config, rng)
+        ids = np.zeros((3, 8), dtype=int)
+        assert bert.encode_cls(ids).shape == (3, 16)
+
+    def test_rejects_overlong_sequence(self, config, rng):
+        bert = MiniBert(config, rng)
+        with pytest.raises(ValueError):
+            bert(np.zeros((1, 13), dtype=int))
+
+    def test_rejects_1d_ids(self, config, rng):
+        bert = MiniBert(config, rng)
+        with pytest.raises(ValueError):
+            bert(np.zeros(8, dtype=int))
+
+    def test_position_matters(self, config, rng, tokenizer):
+        bert = MiniBert(config, rng)
+        bert.eval()
+        ids1, mask = tokenizer.encode("alpha beta", max_len=8)
+        ids2, _ = tokenizer.encode("beta alpha", max_len=8)
+        out1 = bert.encode_cls(np.array([ids1]), np.array([mask])).data
+        out2 = bert.encode_cls(np.array([ids2]), np.array([mask])).data
+        assert not np.allclose(out1, out2)
+
+
+class TestEncodeBatch:
+    def test_shapes(self, tokenizer):
+        ids, mask = encode_batch(tokenizer, ["alpha", "beta gamma"], max_len=8)
+        assert ids.shape == (2, 8)
+        assert mask.dtype == bool
+
+
+class TestMaskTokens:
+    def test_cls_and_padding_never_masked(self, rng):
+        ids = np.array([[2, 10, 11, 0, 0]])
+        attention = np.array([[True, True, True, False, False]])
+        for _ in range(20):
+            corrupted, labels = mask_tokens(ids, attention, mask_id=4,
+                                            vocab_size=50, rng=rng,
+                                            mask_prob=0.9)
+            assert corrupted[0, 0] == 2
+            assert labels[0, 0] == IGNORE_INDEX
+            assert (labels[0, 3:] == IGNORE_INDEX).all()
+
+    def test_labels_hold_original_ids(self, rng):
+        ids = np.full((4, 10), 7)
+        ids[:, 0] = 2
+        attention = np.ones((4, 10), dtype=bool)
+        corrupted, labels = mask_tokens(ids, attention, mask_id=4,
+                                        vocab_size=50, rng=rng, mask_prob=1.0)
+        masked = labels != IGNORE_INDEX
+        assert masked.any()
+        assert (labels[masked] == 7).all()
+
+    def test_zero_probability_masks_nothing(self, rng):
+        ids = np.full((2, 6), 9)
+        attention = np.ones((2, 6), dtype=bool)
+        corrupted, labels = mask_tokens(ids, attention, mask_id=4,
+                                        vocab_size=50, rng=rng, mask_prob=0.0)
+        np.testing.assert_array_equal(corrupted, ids)
+        assert (labels == IGNORE_INDEX).all()
+
+
+class TestPretrainMLM:
+    def test_loss_decreases(self, tokenizer, config, rng):
+        model = BertForMaskedLM(config, rng)
+        losses = pretrain_mlm(
+            model, tokenizer, CORPUS,
+            PretrainConfig(epochs=6, batch_size=4, max_len=12, seed=0),
+        )
+        assert len(losses) == 6
+        assert losses[-1] < losses[0]
+
+    def test_empty_corpus_rejected(self, tokenizer, config, rng):
+        model = BertForMaskedLM(config, rng)
+        with pytest.raises(ValueError):
+            pretrain_mlm(model, tokenizer, ["", "  "],
+                         PretrainConfig(epochs=1))
+
+    def test_model_left_in_eval_mode(self, tokenizer, config, rng):
+        model = BertForMaskedLM(config, rng)
+        pretrain_mlm(model, tokenizer, CORPUS,
+                     PretrainConfig(epochs=1, max_len=12))
+        assert not model.training
+
+
+class TestLSA:
+    def test_document_term_counts(self):
+        ids = np.array([[2, 5, 5, 0], [2, 6, 0, 0]])
+        mask = np.array([[True, True, True, False],
+                         [True, True, False, False]])
+        matrix = document_term_matrix(ids, mask, vocab_size=8)
+        assert matrix[0, 5] == 2.0
+        assert matrix[1, 6] == 1.0
+        assert matrix[0, 0] == 0.0  # padding not counted
+
+    def test_idf_rare_tokens_weigh_more(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 0.0], [1.0, 0.0]])
+        idf = inverse_document_frequency(matrix)
+        assert idf[1] > idf[0]
+
+    def test_lsa_vectors_unit_or_zero(self):
+        rng = np.random.default_rng(0)
+        matrix = (rng.random((10, 6)) > 0.5).astype(float)
+        matrix[:, 5] = 0.0  # unseen token
+        idf = inverse_document_frequency(matrix)
+        vectors = lsa_token_vectors(matrix, idf, dim=4)
+        norms = np.linalg.norm(vectors, axis=1)
+        for token in range(5):
+            if matrix[:, token].sum() > 0:
+                assert norms[token] == pytest.approx(1.0)
+        assert norms[5] == 0.0
+
+    def test_lsa_pads_when_rank_deficient(self):
+        matrix = np.ones((2, 3))
+        idf = inverse_document_frequency(matrix)
+        vectors = lsa_token_vectors(matrix, idf, dim=10)
+        assert vectors.shape == (3, 10)
+
+    def test_cooccurring_tokens_are_similar(self):
+        # tokens 0,1 always co-occur; token 2 appears alone.
+        matrix = np.array(
+            [[1, 1, 0], [1, 1, 0], [1, 1, 0], [0, 0, 1], [0, 0, 1]],
+            dtype=float,
+        )
+        stats = corpus_stats(
+            ids=np.zeros((1, 1), dtype=int),  # unused path below
+            mask=np.zeros((1, 1), dtype=bool),
+            vocab_size=3, dim=2,
+        )
+        idf = inverse_document_frequency(matrix)
+        vectors = lsa_token_vectors(matrix, idf, dim=2)
+        sim_01 = vectors[0] @ vectors[1]
+        sim_02 = vectors[0] @ vectors[2]
+        assert sim_01 > sim_02
+
+
+class TestBuildPretrainedBert:
+    def test_one_call_pretraining(self):
+        from repro.text import build_pretrained_bert, BertConfig, PretrainConfig
+        corpus = ["alpha beta gamma", "beta gamma delta"] * 4
+        model, tokenizer = build_pretrained_bert(
+            corpus,
+            bert_config=None,
+            pretrain_config=PretrainConfig(epochs=1, max_len=12, seed=0),
+            vocab_size=200,
+        )
+        assert model.bert.config.vocab_size == tokenizer.vocab_size
+        ids, mask = tokenizer.encode("alpha beta", max_len=12)
+        out = model.bert.encode_cls(np.array([ids]), np.array([mask]))
+        assert out.shape == (1, model.bert.config.dim)

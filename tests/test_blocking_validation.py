@@ -1,0 +1,137 @@
+"""Token blocking and KG validation."""
+
+import numpy as np
+import pytest
+
+from repro.align import BlockingReport, blocking_report, token_blocking
+from repro.kg import (
+    KGPair,
+    KnowledgeGraph,
+    validate_graph,
+    validate_pair,
+)
+from repro.kg.sequences import build_sequences
+
+
+class TestTokenBlocking:
+    def test_shared_token_creates_pair(self):
+        pairs = token_blocking(["alice smith", "bob jones"],
+                               ["smith alice", "carol white"])
+        assert (0, 0) in pairs
+        assert (1, 1) not in pairs
+
+    def test_stop_tokens_pruned(self):
+        # 'the' appears everywhere; with max_posting=2 it creates nothing
+        texts1 = [f"the item{i}" for i in range(5)]
+        texts2 = [f"the thing{i}" for i in range(5)]
+        pairs = token_blocking(texts1, texts2, max_posting=2)
+        assert pairs == set()
+
+    def test_unique_token_survives_pruning(self):
+        texts1 = ["the unique marker", "the common", "the common"]
+        texts2 = ["unique counterpart", "common x", "common y"]
+        pairs = token_blocking(texts1, texts2, max_posting=1)
+        assert (0, 0) in pairs
+
+    def test_recall_on_generated_pair(self, tiny_pair):
+        seqs1 = build_sequences(tiny_pair.kg1, np.random.default_rng(1))
+        seqs2 = build_sequences(tiny_pair.kg2, np.random.default_rng(2))
+        candidates = token_blocking(seqs1, seqs2, max_posting=30)
+        report = blocking_report(
+            candidates, tiny_pair.links,
+            tiny_pair.kg1.num_entities, tiny_pair.kg2.num_entities,
+        )
+        assert report.recall > 0.6          # true pairs mostly survive
+        assert report.reduction_ratio > 0.3  # big chunk of n*m avoided
+
+    def test_report_empty_links(self):
+        report = blocking_report(set(), [], 4, 4)
+        assert report.recall == 0.0
+        assert report.reduction_ratio == 1.0
+
+    def test_report_zero_space(self):
+        report = blocking_report(set(), [], 0, 5)
+        assert report.reduction_ratio == 0.0
+
+
+class TestValidateGraph:
+    def test_clean_graph_ok(self):
+        graph = KnowledgeGraph()
+        graph.add_rel_triple("a", "r", "b")
+        graph.add_attr_triple("a", "name", "Alice")
+        graph.add_attr_triple("b", "name", "Bob")
+        report = validate_graph(graph)
+        assert report.ok
+        assert report.format() == "no issues found"
+
+    def test_detects_duplicate_rel_triple(self):
+        graph = KnowledgeGraph()
+        graph.add_rel_triple("a", "r", "b")
+        graph.add_rel_triple("a", "r", "b")
+        graph.add_attr_triple("a", "n", "x")
+        graph.add_attr_triple("b", "n", "y")
+        assert validate_graph(graph).codes()["duplicate-rel-triple"] == 1
+
+    def test_detects_self_loop(self):
+        graph = KnowledgeGraph()
+        graph.add_rel_triple("a", "r", "a")
+        graph.add_attr_triple("a", "n", "x")
+        assert validate_graph(graph).codes()["self-loop"] == 1
+
+    def test_detects_empty_value(self):
+        graph = KnowledgeGraph()
+        graph.add_attr_triple("a", "name", "   ")
+        assert validate_graph(graph).codes()["empty-value"] == 1
+
+    def test_detects_isolated_entity(self):
+        graph = KnowledgeGraph()
+        graph.add_entity("ghost")
+        graph.add_rel_triple("a", "r", "b")
+        codes = validate_graph(graph).codes()
+        assert codes["isolated-entity"] == 1
+
+    def test_detects_duplicate_attr_triple(self):
+        graph = KnowledgeGraph()
+        graph.add_attr_triple("a", "name", "Alice")
+        graph.add_attr_triple("a", "name", "Alice")
+        assert validate_graph(graph).codes()["duplicate-attr-triple"] == 1
+
+    def test_format_truncates(self):
+        graph = KnowledgeGraph()
+        for i in range(30):
+            graph.add_entity(f"ghost{i}")
+        report = validate_graph(graph)
+        assert "more" in report.format(limit=5)
+
+
+class TestValidatePair:
+    def _clean_pair(self):
+        kg1, kg2 = KnowledgeGraph("k1"), KnowledgeGraph("k2")
+        kg1.add_attr_triple("a", "n", "x")
+        kg1.add_attr_triple("b", "n", "y")
+        kg2.add_attr_triple("p", "n", "x")
+        kg2.add_attr_triple("q", "n", "y")
+        return kg1, kg2
+
+    def test_clean_pair_ok(self):
+        kg1, kg2 = self._clean_pair()
+        pair = KGPair(kg1=kg1, kg2=kg2, links=[(0, 0), (1, 1)])
+        assert validate_pair(pair).ok
+
+    def test_duplicate_link(self):
+        kg1, kg2 = self._clean_pair()
+        pair = KGPair(kg1=kg1, kg2=kg2, links=[(0, 0), (0, 0)])
+        codes = validate_pair(pair).codes()
+        assert codes["duplicate-link"] == 1
+
+    def test_many_to_one(self):
+        kg1, kg2 = self._clean_pair()
+        pair = KGPair(kg1=kg1, kg2=kg2, links=[(0, 0), (0, 1)])
+        codes = validate_pair(pair).codes()
+        assert codes["many-to-one-link"] == 1
+
+    def test_generated_datasets_are_clean_of_links_issues(self, tiny_pair):
+        report = validate_pair(tiny_pair)
+        codes = report.codes()
+        assert codes["duplicate-link"] == 0
+        assert codes["many-to-one-link"] == 0

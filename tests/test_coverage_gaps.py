@@ -1,0 +1,89 @@
+"""Coverage for corners not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.align.evaluator import EvaluationResult
+from repro.align.metrics import AlignmentMetrics
+from repro.datasets.words import COMMON_WORDS, TYPE_WORDS, proper_name, proper_word
+from repro.experiments import ExperimentResult, format_results_table
+from repro.nn import GlobalAttentionPooling, Tensor
+from repro.text import SPECIAL_TOKENS
+
+
+class TestWords:
+    def test_common_words_nonempty_lowercase(self):
+        assert len(COMMON_WORDS) > 50
+        assert all(w == w.lower() for w in COMMON_WORDS)
+
+    def test_type_words_cover_entity_types(self):
+        assert set(TYPE_WORDS) == {"person", "place", "club", "country"}
+        for synonyms in TYPE_WORDS.values():
+            assert len(synonyms) >= 2
+
+    def test_proper_word_capitalised(self, rng):
+        word = proper_word(rng)
+        assert word[0].isupper()
+        assert word[1:] == word[1:].lower()
+
+    def test_proper_name_word_count(self, rng):
+        assert len(proper_name(rng, words=3)) == 3
+
+
+class TestPoolingWithoutMask:
+    def test_no_mask_weights_cover_all_slots(self, rng):
+        pool = GlobalAttentionPooling(4, rng)
+        states = Tensor(rng.normal(size=(2, 3, 4)))
+        last = states[:, 2, :]
+        pooled, alpha = pool(states, last, mask=None, return_weights=True)
+        np.testing.assert_allclose(alpha.data.sum(axis=1), np.ones(2),
+                                   rtol=1e-9)
+        assert pooled.shape == (2, 4)
+
+
+class TestResultFormatting:
+    def test_table_without_stable_column(self):
+        results = [ExperimentResult("m", "d", 0.5, 0.8, 0.6, None, 1.0)]
+        text = format_results_table(results)
+        assert "st-H@1" not in text
+        assert "50.0" in text
+
+    def test_from_evaluation_roundtrip(self):
+        metrics = AlignmentMetrics(hits_at_1=0.5, hits_at_10=0.9, mrr=0.6,
+                                   num_pairs=10)
+        evaluation = EvaluationResult(metrics=metrics, stable_hits_at_1=0.55)
+        result = ExperimentResult.from_evaluation("m", "d", evaluation, 2.0)
+        assert result.hits_at_1 == 0.5
+        assert result.stable_hits_at_1 == 0.55
+        assert result.row()["stable-H@1"] == 55.0
+
+
+class TestSpecialTokensContract:
+    def test_five_special_tokens_fixed_order(self):
+        assert SPECIAL_TOKENS == ("[PAD]", "[UNK]", "[CLS]", "[SEP]",
+                                  "[MASK]")
+
+
+class TestEvaluationResultStr:
+    def test_plain_and_stable_render(self):
+        metrics = AlignmentMetrics(0.871, 0.966, 0.91, 100)
+        plain = EvaluationResult(metrics=metrics)
+        assert "87.1" in str(plain)
+        boosted = EvaluationResult(metrics=metrics, stable_hits_at_1=0.9)
+        assert "stable-H@1" in str(boosted)
+
+
+class TestKGPairSplitCacheKeying:
+    def test_different_seeds_different_objects(self, tiny_pair):
+        a = tiny_pair.split(seed=101)
+        b = tiny_pair.split(seed=102)
+        assert a is not b
+        assert a.train != b.train
+
+    def test_same_parameters_same_object(self, tiny_pair):
+        assert tiny_pair.split(seed=103) is tiny_pair.split(seed=103)
+
+    def test_different_ratios_different_objects(self, tiny_pair):
+        a = tiny_pair.split(train_ratio=0.2, valid_ratio=0.1, seed=104)
+        b = tiny_pair.split(train_ratio=0.3, valid_ratio=0.1, seed=104)
+        assert len(b.train) > len(a.train)

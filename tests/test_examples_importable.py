@@ -1,0 +1,27 @@
+"""Examples hygiene: each script parses, documents itself, and has main()."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_with_docstring_and_main(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} missing module docstring"
+    assert "Run:" in ast.get_docstring(tree), \
+        f"{path.name} docstring missing a Run: line"
+    function_names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in function_names, f"{path.name} has no main()"
+
+
+def test_expected_example_set_present():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5  # quickstart + at least four scenarios

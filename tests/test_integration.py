@@ -1,0 +1,109 @@
+"""Cross-module integration tests: export → reload → train → evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import JAPEStru, TransEConfig
+from repro.core import SDEA, SDEAConfig
+from repro.datasets import (
+    SRPRSScale,
+    ViewConfig,
+    WorldConfig,
+    build_srprs,
+    generate_pair,
+)
+from repro.experiments.suites import build_pairs, run_table
+from repro.kg import KGPair, load_graph, load_links, save_graph, save_links
+
+
+class TestFileRoundtripPipeline:
+    """Generate a pair, write OpenEA files, reload, and align."""
+
+    @pytest.fixture(scope="class")
+    def reloaded_pair(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("openea")
+        pair = generate_pair(
+            WorldConfig(n_persons=25, n_places=10, n_clubs=6, n_countries=4,
+                        seed=11),
+            ViewConfig(side=1, seed=12),
+            ViewConfig(side=2, seed=13),
+            name="roundtrip",
+        )
+        save_graph(pair.kg1, tmp / "rel_triples_1", tmp / "attr_triples_1")
+        save_graph(pair.kg2, tmp / "rel_triples_2", tmp / "attr_triples_2")
+        save_links(
+            [(pair.kg1.entity_uri(a), pair.kg2.entity_uri(b))
+             for a, b in pair.links],
+            tmp / "ent_links",
+        )
+        kg1 = load_graph(tmp / "rel_triples_1", tmp / "attr_triples_1", "k1")
+        kg2 = load_graph(tmp / "rel_triples_2", tmp / "attr_triples_2", "k2")
+        links = load_links(tmp / "ent_links")
+        return pair, KGPair.from_uri_links(kg1, kg2, links, name="reloaded")
+
+    def test_statistics_preserved(self, reloaded_pair):
+        original, reloaded = reloaded_pair
+        assert original.kg1.summary() == reloaded.kg1.summary()
+        assert original.kg2.summary() == reloaded.kg2.summary()
+        assert len(original.links) == len(reloaded.links)
+
+    def test_alignment_on_reloaded_files(self, reloaded_pair):
+        _, reloaded = reloaded_pair
+        split = reloaded.split(seed=9)
+        aligner = JAPEStru(TransEConfig(dim=16, epochs=10))
+        aligner.fit(reloaded, split)
+        result = aligner.evaluate(split.test)
+        assert result.metrics.num_pairs == len(split.test)
+
+
+class TestSuiteRunner:
+    def test_run_table_over_scaled_dataset(self):
+        scale = SRPRSScale(n_persons=25, n_places=10, n_clubs=6,
+                           n_countries=4)
+        results = run_table(
+            ["srprs/dbp_wd"], ["jape-stru", "gcn"], scale=scale
+        )
+        assert set(results) == {"dbp_wd"}
+        assert [r.method for r in results["dbp_wd"]] == ["jape-stru", "gcn"]
+
+    def test_build_pairs_keys(self):
+        scale = SRPRSScale(n_persons=15, n_places=8, n_clubs=4,
+                           n_countries=3)
+        pairs = build_pairs(["srprs/en_fr", "srprs/en_de"], scale=scale)
+        assert set(pairs) == {"en_fr", "en_de"}
+
+
+class TestSDEADeterminism:
+    def test_same_seed_same_results(self, tiny_pair):
+        split = tiny_pair.split(seed=3)
+        config = SDEAConfig(
+            bert_dim=32, bert_heads=2, bert_layers=1, bert_ff_dim=64,
+            max_seq_len=24, embed_dim=32, relation_hidden=16,
+            attr_epochs=2, rel_epochs=2, mlm_epochs=1, vocab_size=400,
+            patience=2, seed=7,
+        )
+        results = []
+        for _ in range(2):
+            model = SDEA(SDEAConfig(**vars(config)))
+            model.fit(tiny_pair, split)
+            results.append(model.evaluate(split.test).metrics.hits_at_1)
+        assert results[0] == results[1]
+
+
+class TestSDEAOnSparseData:
+    """SDEA must stay functional when relations are nearly absent."""
+
+    def test_fit_on_srprs_like(self):
+        pair = build_srprs("dbp_yg", scale=SRPRSScale(
+            n_persons=25, n_places=10, n_clubs=6, n_countries=4))
+        split = pair.split(seed=5)
+        config = SDEAConfig(
+            bert_dim=32, bert_heads=2, bert_layers=1, bert_ff_dim=64,
+            max_seq_len=24, embed_dim=32, relation_hidden=16,
+            attr_epochs=2, rel_epochs=2, mlm_epochs=1, vocab_size=400,
+            patience=2, seed=7,
+        )
+        model = SDEA(config)
+        model.fit(pair, split)
+        result = model.evaluate(split.test)
+        assert np.isfinite(result.metrics.mrr)

@@ -1,0 +1,274 @@
+"""KnowledgeGraph, KGPair, splits, I/O, sequences, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    AlignmentSplit,
+    KGPair,
+    KnowledgeGraph,
+    attribute_order,
+    build_sequences,
+    classify_value,
+    degree_proportions,
+    entity_sequence,
+    load_graph,
+    load_links,
+    long_text_fraction,
+    longtail_entities,
+    merge_corpora,
+    pair_degree_proportions,
+    save_graph,
+    save_links,
+    value_type_fractions,
+)
+
+
+@pytest.fixture()
+def small_graph():
+    graph = KnowledgeGraph(name="g")
+    graph.add_rel_triple("e/a", "r/knows", "e/b")
+    graph.add_rel_triple("e/a", "r/likes", "e/c")
+    graph.add_rel_triple("e/b", "r/knows", "e/c")
+    graph.add_attr_triple("e/a", "name", "Alice Smith")
+    graph.add_attr_triple("e/a", "birthYear", "1980")
+    graph.add_attr_triple("e/b", "name", "Bob")
+    return graph
+
+
+class TestKnowledgeGraph:
+    def test_counts(self, small_graph):
+        assert small_graph.num_entities == 3
+        assert small_graph.num_relations == 2
+        assert small_graph.num_attributes == 2
+        stats = small_graph.summary()
+        assert stats["rel_triples"] == 3
+        assert stats["attr_triples"] == 3
+
+    def test_interning_is_idempotent(self, small_graph):
+        before = small_graph.num_entities
+        small_graph.add_entity("e/a")
+        assert small_graph.num_entities == before
+
+    def test_neighbors_undirected(self, small_graph):
+        a = small_graph.entity_id("e/a")
+        c = small_graph.entity_id("e/c")
+        assert c in small_graph.neighbor_entities(a)
+        assert a in small_graph.neighbor_entities(c)
+
+    def test_neighbor_entities_deduplicated(self):
+        graph = KnowledgeGraph()
+        graph.add_rel_triple("x", "r1", "y")
+        graph.add_rel_triple("x", "r2", "y")
+        assert graph.neighbor_entities(graph.entity_id("x")) == [
+            graph.entity_id("y")
+        ]
+
+    def test_degree_counts_both_directions(self, small_graph):
+        a = small_graph.entity_id("e/a")
+        assert small_graph.degree(a) == 2
+
+    def test_attributes_of(self, small_graph):
+        a = small_graph.entity_id("e/a")
+        values = small_graph.entity_values(a)
+        assert values == ["Alice Smith", "1980"]
+
+    def test_merge_corpora(self, small_graph):
+        corpus = merge_corpora([small_graph])
+        assert "Alice Smith" in corpus
+        assert len(corpus) == 3
+
+
+class TestIO:
+    def test_roundtrip(self, small_graph, tmp_path):
+        rel = tmp_path / "rel_triples_1"
+        attr = tmp_path / "attr_triples_1"
+        save_graph(small_graph, rel, attr)
+        loaded = load_graph(rel, attr, name="g2")
+        assert loaded.summary() == small_graph.summary()
+        a = loaded.entity_id("e/a")
+        assert loaded.entity_values(a) == ["Alice Smith", "1980"]
+
+    def test_links_roundtrip(self, tmp_path):
+        links = [("e/a", "f/x"), ("e/b", "f/y")]
+        path = tmp_path / "ent_links"
+        save_links(links, path)
+        assert load_links(path) == links
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("only-one-field\n")
+        with pytest.raises(ValueError):
+            load_links(path)
+
+    def test_values_with_tabs_sanitised(self, tmp_path):
+        graph = KnowledgeGraph()
+        graph.add_attr_triple("e", "a", "has\ttab\nand newline")
+        rel = tmp_path / "r"
+        attr = tmp_path / "a"
+        save_graph(graph, rel, attr)
+        loaded = load_graph(rel, attr)
+        value = loaded.entity_values(loaded.entity_id("e"))[0]
+        assert "\t" not in value and "\n" not in value
+
+
+class TestKGPair:
+    def _pair(self):
+        kg1 = KnowledgeGraph(name="k1")
+        kg2 = KnowledgeGraph(name="k2")
+        for i in range(20):
+            kg1.add_entity(f"a/{i}")
+            kg2.add_entity(f"b/{i}")
+        links = [(i, i) for i in range(20)]
+        return KGPair(kg1=kg1, kg2=kg2, links=links)
+
+    def test_split_ratios(self):
+        pair = self._pair()
+        split = pair.split(train_ratio=0.2, valid_ratio=0.1, seed=1)
+        assert len(split.train) == 4
+        assert len(split.valid) == 2
+        assert len(split.test) == 14
+
+    def test_split_partitions_disjoint_and_complete(self):
+        pair = self._pair()
+        split = pair.split(seed=2)
+        combined = split.train + split.valid + split.test
+        assert len(combined) == len(pair.links)
+        assert len(set(combined)) == len(combined)
+
+    def test_split_deterministic_and_cached(self):
+        pair = self._pair()
+        assert pair.split(seed=3) is pair.split(seed=3)
+
+    def test_split_rejects_bad_ratios(self):
+        pair = self._pair()
+        with pytest.raises(ValueError):
+            pair.split(train_ratio=0.9, valid_ratio=0.2)
+
+    def test_from_uri_links_validates(self):
+        kg1, kg2 = KnowledgeGraph(), KnowledgeGraph()
+        kg1.add_entity("x")
+        kg2.add_entity("y")
+        pair = KGPair.from_uri_links(kg1, kg2, [("x", "y")])
+        assert pair.links == [(0, 0)]
+        with pytest.raises(KeyError):
+            KGPair.from_uri_links(kg1, kg2, [("missing", "y")])
+
+    def test_alignment_split_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            AlignmentSplit(train=[(0, 0)], valid=[(0, 0)], test=[])
+
+    def test_matched_neighbor_fraction(self):
+        kg1, kg2 = KnowledgeGraph(), KnowledgeGraph()
+        kg1.add_rel_triple("a0", "r", "a1")
+        kg2.add_rel_triple("b0", "r", "b1")
+        pair = KGPair.from_uri_links(kg1, kg2, [("a0", "b0"), ("a1", "b1")])
+        # a0's neighbor a1 maps to b1 which neighbors b0 → matched.
+        assert pair.matched_neighbor_fraction() == 1.0
+
+
+class TestSequences:
+    def test_entity_sequence_follows_global_order(self, small_graph):
+        order = attribute_order(small_graph, np.random.default_rng(0))
+        a = small_graph.entity_id("e/a")
+        sequence = entity_sequence(small_graph, a, order)
+        values = ["Alice Smith", "1980"]
+        rank = {attr: pos for pos, attr in enumerate(order)}
+        name_id = small_graph._attributes.id_of("name")
+        year_id = small_graph._attributes.id_of("birthYear")
+        if rank[name_id] < rank[year_id]:
+            assert sequence == "Alice Smith 1980"
+        else:
+            assert sequence == "1980 Alice Smith"
+
+    def test_fallback_to_uri_local_name(self, small_graph):
+        order = attribute_order(small_graph, np.random.default_rng(0))
+        c = small_graph.entity_id("e/c")  # no attributes
+        assert entity_sequence(small_graph, c, order) == "c"
+
+    def test_build_sequences_covers_all_entities(self, small_graph):
+        sequences = build_sequences(small_graph, np.random.default_rng(1))
+        assert len(sequences) == small_graph.num_entities
+
+    def test_same_order_for_all_entities(self):
+        graph = KnowledgeGraph()
+        graph.add_attr_triple("x", "p", "1")
+        graph.add_attr_triple("x", "q", "2")
+        graph.add_attr_triple("y", "p", "3")
+        graph.add_attr_triple("y", "q", "4")
+        sequences = build_sequences(graph, np.random.default_rng(5))
+        # whatever the order, it must be consistent: either both p-first
+        # or both q-first
+        x_first = sequences[0].split()[0]
+        y_first = sequences[1].split()[0]
+        assert (x_first == "1") == (y_first == "3")
+
+
+class TestStatistics:
+    def test_degree_proportions(self):
+        graph = KnowledgeGraph()
+        graph.add_rel_triple("a", "r", "b")  # both degree 1
+        graph.add_rel_triple("c", "r", "d")
+        for i in range(5):
+            graph.add_rel_triple("hub", "r", f"x{i}")  # hub degree 5
+        props = degree_proportions(graph)
+        assert props["1~3"] == pytest.approx(9 / 10)
+        assert props["1~5"] == pytest.approx(1.0)
+
+    def test_degree_proportions_empty(self):
+        props = degree_proportions(KnowledgeGraph())
+        assert props["1~3"] == 0.0
+
+    def test_classify_value(self):
+        assert classify_value("1985") == "date"
+        assert classify_value("1985-06-12") == "date"
+        assert classify_value("12345678") == "number"
+        assert classify_value("3.14") == "number"
+        assert classify_value("Alice") == "text"
+        assert classify_value("born in 1985") == "text"
+
+    def test_value_type_fractions_sum_to_one(self, small_graph):
+        fractions = value_type_fractions(small_graph)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_long_text_fraction(self):
+        graph = KnowledgeGraph()
+        graph.add_attr_triple("e", "comment", " ".join(["w"] * 60))
+        graph.add_attr_triple("e", "name", "short")
+        assert long_text_fraction(graph, min_words=50) == 0.5
+
+    def test_longtail_entities(self):
+        graph = KnowledgeGraph()
+        graph.add_rel_triple("a", "r", "b")
+        for i in range(6):
+            graph.add_rel_triple("hub", "r", f"x{i}")
+        tail = longtail_entities(graph, max_degree=3)
+        assert graph.entity_id("a") in tail
+        assert graph.entity_id("hub") not in tail
+
+    def test_pair_degree_proportions(self, tiny_pair):
+        props = pair_degree_proportions(tiny_pair)
+        assert set(props) == {"1~3", "1~5", "1~10"}
+        assert props["1~3"] <= props["1~5"] <= props["1~10"] <= 1.0
+
+
+class TestIOUnicode:
+    def test_unicode_values_roundtrip(self, tmp_path):
+        graph = KnowledgeGraph()
+        graph.add_attr_triple("e/α", "name", "Müller-Łukasiewicz 北京")
+        graph.add_rel_triple("e/α", "r", "e/β")
+        rel, attr = tmp_path / "rel", tmp_path / "attr"
+        save_graph(graph, rel, attr)
+        loaded = load_graph(rel, attr)
+        value = loaded.entity_values(loaded.entity_id("e/α"))[0]
+        assert value == "Müller-Łukasiewicz 北京"
+
+    def test_value_containing_separator_like_text(self, tmp_path):
+        graph = KnowledgeGraph()
+        graph.add_attr_triple("e", "quote", 'he said "a\tb" loudly')
+        rel, attr = tmp_path / "rel2", tmp_path / "attr2"
+        save_graph(graph, rel, attr)
+        loaded = load_graph(rel, attr)
+        value = loaded.entity_values(loaded.entity_id("e"))[0]
+        assert "\t" not in value
+        assert "he said" in value

@@ -1,0 +1,153 @@
+"""Module system: registration, traversal, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Linear,
+    MLP,
+    Module,
+    ModuleList,
+    Parameter,
+    Tensor,
+)
+
+
+class Inner(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.linear = Linear(2, 3, rng)
+        self.scale = Parameter(np.ones(3))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class Outer(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.inner = Inner(rng)
+        self.bias = Parameter(np.zeros(3))
+
+    def forward(self, x):
+        return self.inner(x) + self.bias
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self, rng):
+        model = Outer(rng)
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {
+            "inner.linear.weight", "inner.linear.bias", "inner.scale", "bias"
+        }
+
+    def test_num_parameters(self, rng):
+        model = Outer(rng)
+        assert model.num_parameters() == 2 * 3 + 3 + 3 + 3
+
+    def test_modules_iteration(self, rng):
+        model = Outer(rng)
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds == ["Outer", "Inner", "Linear"]
+
+
+class TestModes:
+    def test_train_eval_propagate(self, rng):
+        model = Outer(rng)
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self, rng):
+        model = Outer(rng)
+        out = model(Tensor(np.ones((4, 2))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        model = Outer(rng)
+        state = model.state_dict()
+        other = Outer(np.random.default_rng(99))
+        other.load_state_dict(state)
+        for (_, p1), (_, p2) in zip(model.named_parameters(),
+                                    other.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = Outer(rng)
+        state = model.state_dict()
+        state["bias"][...] = 42.0
+        assert not (model.bias.data == 42.0).any()
+
+    def test_load_rejects_missing_keys(self, rng):
+        model = Outer(rng)
+        state = model.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_unexpected_keys(self, rng):
+        model = Outer(rng)
+        state = model.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_shape_mismatch(self, rng):
+        model = Outer(rng)
+        state = model.state_dict()
+        state["bias"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestModuleList:
+    def test_children_registered(self, rng):
+        layers = ModuleList(Linear(2, 2, rng) for _ in range(3))
+        assert len(layers) == 3
+        assert len(list(layers.parameters())) == 6
+
+    def test_indexing_and_iteration(self, rng):
+        layers = ModuleList([Linear(2, 2, rng)])
+        layers.append(Linear(2, 2, rng))
+        assert layers[1] is list(layers)[1]
+
+
+class TestMLP:
+    def test_forward_shape(self, rng):
+        mlp = MLP(4, [8, 8], 3, rng)
+        out = mlp(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_zero_hidden_is_single_linear(self, rng):
+        mlp = MLP(4, [], 3, rng)
+        assert len(mlp.layers) == 1
+
+    def test_rejects_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            MLP(2, [2], 2, rng, activation="swish")
+
+    def test_dropout_only_in_training(self, rng):
+        mlp = MLP(4, [16], 3, rng, dropout=0.5)
+        x = Tensor(np.ones((2, 4)))
+        mlp.eval()
+        out1 = mlp(x).data
+        out2 = mlp(x).data
+        np.testing.assert_array_equal(out1, out2)
+
+
+class TestDropoutModule:
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_identity_when_p_zero(self, rng):
+        layer = Dropout(0.0, rng)
+        x = Tensor(np.ones((3, 3)))
+        assert layer(x) is x

@@ -1,0 +1,119 @@
+"""Additional property-based tests over core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    cosine_similarity_matrix,
+    csls_similarity_matrix,
+    greedy_matching,
+    topk_indices,
+)
+from repro.core.numeric import extract_numbers, log_scale
+from repro.datasets.translation import Language, transliterate_word
+from repro.nn import GRU, Tensor
+
+
+@given(st.integers(1, 4), st.integers(2, 6), st.integers(1, 4),
+       st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_gru_mask_prefix_invariance(batch, steps, dim, seed):
+    """Outputs at valid steps never depend on padded-step inputs."""
+    rng = np.random.default_rng(seed)
+    gru = GRU(dim, 3, np.random.default_rng(0))
+    x = rng.normal(size=(batch, steps, dim))
+    valid = rng.integers(1, steps + 1, size=batch)
+    mask = np.arange(steps)[None, :] < valid[:, None]
+    corrupted = x.copy()
+    corrupted[~mask] = 1e6
+    out_clean = gru(Tensor(x), mask).data
+    out_corrupt = gru(Tensor(corrupted), mask).data
+    for row in range(batch):
+        np.testing.assert_allclose(
+            out_clean[row, :valid[row]], out_corrupt[row, :valid[row]],
+            atol=1e-9,
+        )
+
+
+@given(st.integers(2, 10), st.integers(2, 6), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_topk_contains_argmax(n, m, seed):
+    rng = np.random.default_rng(seed)
+    sim = rng.normal(size=(n, m))
+    top = topk_indices(sim, k=min(3, m))
+    for row in range(n):
+        assert sim[row].argmax() in top[row]
+
+
+@given(st.integers(2, 8), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_greedy_matching_is_injective(n, seed):
+    rng = np.random.default_rng(seed)
+    sim = rng.normal(size=(n, n))
+    assignment = greedy_matching(sim)
+    assert len(assignment) == n
+    assert len(set(assignment.values())) == n
+
+
+@given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_cosine_matrix_bounds(n, m, seed):
+    rng = np.random.default_rng(seed)
+    sim = cosine_similarity_matrix(rng.normal(size=(n, 4)),
+                                   rng.normal(size=(m, 4)))
+    assert sim.shape == (n, m)
+    assert (np.abs(sim) <= 1.0 + 1e-9).all()
+
+
+@given(st.integers(2, 8), st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_csls_preserves_within_row_order_shift(n, seed):
+    """CSLS subtracts a per-row and per-column constant: within one row,
+    the *relative* order changes only through the column penalty."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, 5))
+    cos = cosine_similarity_matrix(a, a)
+    csls = csls_similarity_matrix(a, a, k=2)
+    # reconstruct: csls + r_rows + r_cols == 2 cos
+    k = 2
+    r_rows = np.sort(cos, axis=1)[:, -k:].mean(axis=1)
+    r_cols = np.sort(cos, axis=0)[-k:, :].mean(axis=0)
+    np.testing.assert_allclose(
+        csls + r_rows[:, None] + r_cols[None, :], 2 * cos, atol=1e-9
+    )
+
+
+@given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_log_scale_monotone_nonneg(value):
+    assert log_scale(value) >= 0.0
+    assert log_scale(value + 1.0) >= log_scale(value)
+
+
+@given(st.lists(st.integers(0, 10**9), min_size=0, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_extract_numbers_finds_all_spaced_integers(numbers):
+    text = " x ".join(str(n) for n in numbers)
+    assert extract_numbers(text) == [float(n) for n in numbers]
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+               max_size=12),
+       st.sampled_from(["zh", "ja", "de", "fr"]))
+@settings(max_examples=50, deadline=None)
+def test_transliteration_total_and_deterministic(word, lang):
+    out1 = transliterate_word(word, lang)
+    out2 = transliterate_word(word, lang)
+    assert out1 == out2
+    assert len(out1) >= 1
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz ", min_size=0,
+               max_size=40),
+       st.sampled_from(["zh", "ja", "xx"]))
+@settings(max_examples=50, deadline=None)
+def test_translation_word_count_preserved(text, lang):
+    language = Language(lang)
+    out = language.translate_text(text)
+    assert len(out.split()) == len(text.split())

@@ -1,0 +1,132 @@
+"""Optimisers: convergence behaviour and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Parameter, SGD, clip_grad_norm
+
+
+def quadratic_loss(param):
+    """L = sum((p - 3)^2); gradient = 2 (p - 3)."""
+    return ((param - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(1))
+        momentum = Parameter(np.zeros(1))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for param, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                loss = quadratic_loss(param)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.ones(1) * 10.0)
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        loss = (param * 0.0).sum()  # zero-gradient loss
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert param.data[0] < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        used = Parameter(np.zeros(1))
+        unused = Parameter(np.ones(1))
+        optimizer = SGD([used, unused], lr=0.1)
+        loss = quadratic_loss(used)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        np.testing.assert_array_equal(unused.data, np.ones(1))
+
+    def test_rejects_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_first_step_magnitude_close_to_lr(self):
+        """With bias correction, the first Adam step is ≈ lr."""
+        param = Parameter(np.zeros(1))
+        optimizer = Adam([param], lr=0.5)
+        loss = quadratic_loss(param)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert abs(param.data[0]) == pytest.approx(0.5, rel=1e-6)
+
+
+class TestClipGradNorm:
+    def test_large_gradients_scaled(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([3.0, 4.0, 0.0])  # norm 5
+        returned = clip_grad_norm([param], max_norm=1.0)
+        assert returned == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.3, 0.4])
+        clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, [0.3, 0.4])
+
+    def test_handles_missing_grads(self):
+        param = Parameter(np.zeros(2))
+        assert clip_grad_norm([param], max_norm=1.0) == 0.0
+
+
+class TestLinearWarmupSchedule:
+    def test_warmup_then_decay(self):
+        from repro.nn import LinearWarmupSchedule, Parameter, SGD
+        import numpy as np
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = LinearWarmupSchedule(optimizer, warmup_steps=2,
+                                        total_steps=4)
+        lrs = [schedule.step() for _ in range(4)]
+        assert lrs[0] == pytest.approx(0.5)   # warming up
+        assert lrs[1] == pytest.approx(1.0)   # peak
+        assert lrs[2] < lrs[1]                # decaying
+        assert lrs[3] == pytest.approx(0.0)   # fully decayed
+
+    def test_validation(self):
+        from repro.nn import LinearWarmupSchedule, Parameter, SGD
+        import numpy as np
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(optimizer, warmup_steps=5, total_steps=4)
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(optimizer, warmup_steps=0, total_steps=0)
+
+    def test_no_warmup(self):
+        from repro.nn import LinearWarmupSchedule, Parameter, SGD
+        import numpy as np
+        optimizer = SGD([Parameter(np.zeros(1))], lr=2.0)
+        schedule = LinearWarmupSchedule(optimizer, warmup_steps=0,
+                                        total_steps=10)
+        first = schedule.step()
+        assert 0.0 < first <= 2.0

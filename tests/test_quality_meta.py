@@ -1,0 +1,134 @@
+"""Meta-tests: documentation and API hygiene across the package."""
+
+import importlib
+import pkgutil
+
+import numpy as np
+import pytest
+
+import repro
+from repro.nn import init as nn_init
+
+
+def _walk_modules():
+    for module_info in pkgutil.walk_packages(repro.__path__,
+                                             prefix="repro."):
+        yield module_info.name
+
+
+class TestDocstringCoverage:
+    def test_every_module_has_a_docstring(self):
+        missing = []
+        for name in _walk_modules():
+            module = importlib.import_module(name)
+            if not (module.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_every_public_package_symbol_is_importable(self):
+        for package_name in ("repro", "repro.nn", "repro.text", "repro.kg",
+                             "repro.datasets", "repro.core", "repro.align",
+                             "repro.baselines", "repro.experiments"):
+            package = importlib.import_module(package_name)
+            for symbol in getattr(package, "__all__", []):
+                assert hasattr(package, symbol), (package_name, symbol)
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self, rng):
+        weights = nn_init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert (np.abs(weights) <= bound).all()
+
+    def test_xavier_normal_std(self, rng):
+        weights = nn_init.xavier_normal((2000, 2000), rng)
+        expected = np.sqrt(2.0 / 4000)
+        assert abs(weights.std() - expected) / expected < 0.05
+
+    def test_kaiming_uniform_bounds(self, rng):
+        weights = nn_init.kaiming_uniform((64, 32), rng)
+        bound = np.sqrt(6.0 / 64)
+        assert (np.abs(weights) <= bound).all()
+
+    def test_normal_std(self, rng):
+        weights = nn_init.normal((5000,), rng, std=0.02)
+        assert abs(weights.std() - 0.02) < 0.002
+
+    def test_1d_shape_fans(self, rng):
+        weights = nn_init.xavier_uniform((10,), rng)
+        assert weights.shape == (10,)
+
+    def test_empty_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            nn_init.xavier_uniform((), rng)
+
+
+class TestReportSectionIntegrity:
+    def test_section_stems_unique(self):
+        from repro.experiments.report import _SECTIONS
+        stems = [stem for stem, _, _ in _SECTIONS]
+        assert len(stems) == len(set(stems))
+
+    def test_sections_cover_all_bench_result_names(self):
+        """Every write_result() name used by a bench has a report section."""
+        import re
+        from pathlib import Path
+        from repro.experiments.report import _SECTIONS
+        stems = {stem for stem, _, _ in _SECTIONS}
+        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        missing = []
+        for bench in bench_dir.glob("bench_*.py"):
+            for match in re.findall(r'write_result\(\s*f?"([^"]+)"',
+                                    bench.read_text()):
+                # parametrised names like table3_{short} expand per dataset
+                if "{" in match:
+                    continue
+                if match not in stems:
+                    missing.append((bench.name, match))
+        assert not missing, f"benches without report sections: {missing}"
+
+
+class TestStatisticsExtras:
+    def test_pair_summary_keys(self, tiny_pair):
+        from repro.kg import pair_summary
+        summary = pair_summary(tiny_pair)
+        assert set(summary) == {tiny_pair.kg1.name, tiny_pair.kg2.name}
+        for stats in summary.values():
+            assert "entities" in stats and "rel_triples" in stats
+
+    def test_merge_corpora_multiple_graphs(self, tiny_pair):
+        from repro.kg import merge_corpora
+        corpus = merge_corpora([tiny_pair.kg1, tiny_pair.kg2])
+        assert len(corpus) == (len(tiny_pair.kg1.attr_triples)
+                               + len(tiny_pair.kg2.attr_triples))
+
+
+class TestVersionConsistency:
+    def test_package_version_matches_pyproject(self):
+        from pathlib import Path
+        import repro
+        pyproject = (Path(__file__).parent.parent / "pyproject.toml")
+        text = pyproject.read_text()
+        assert f'version = "{repro.__version__}"' in text
+
+
+class TestReadmeBenchTableSync:
+    def test_readme_lists_every_bench_file(self):
+        from pathlib import Path
+        root = Path(__file__).parent.parent
+        readme = (root / "README.md").read_text()
+        missing = [
+            bench.stem for bench in (root / "benchmarks").glob("bench_*.py")
+            if f"`{bench.stem}`" not in readme
+        ]
+        assert not missing, f"benches absent from README table: {missing}"
+
+    def test_readme_lists_every_example(self):
+        from pathlib import Path
+        root = Path(__file__).parent.parent
+        readme = (root / "README.md").read_text()
+        missing = [
+            ex.name for ex in (root / "examples").glob("*.py")
+            if ex.name not in readme
+        ]
+        assert not missing, f"examples absent from README: {missing}"

@@ -1,0 +1,46 @@
+"""Report generator (EXPERIMENTS.md composition)."""
+
+from pathlib import Path
+
+from repro.experiments import collect_results, generate_report, write_report
+
+
+def _make_results(tmp_path: Path) -> Path:
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "table3_zh_en.txt").write_text("METHOD ROWS\n")
+    (results / "mystery_extra.txt").write_text("EXTRA BLOCK\n")
+    return results
+
+
+class TestCollect:
+    def test_collects_all_txt(self, tmp_path):
+        results = _make_results(tmp_path)
+        blocks = collect_results(results)
+        assert set(blocks) == {"table3_zh_en", "mystery_extra"}
+        assert blocks["table3_zh_en"] == "METHOD ROWS"
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert collect_results(tmp_path / "nope") == {}
+
+
+class TestGenerate:
+    def test_known_sections_in_order(self, tmp_path):
+        results = _make_results(tmp_path)
+        report = generate_report(results)
+        assert report.index("# EXPERIMENTS") < report.index("Table I")
+        assert "METHOD ROWS" in report
+        # missing sections carry a placeholder
+        assert "no result file" in report
+
+    def test_unknown_blocks_appended(self, tmp_path):
+        results = _make_results(tmp_path)
+        report = generate_report(results)
+        assert "mystery_extra" in report
+        assert "EXTRA BLOCK" in report
+
+    def test_write_report(self, tmp_path):
+        results = _make_results(tmp_path)
+        out = write_report(results, tmp_path / "EXPERIMENTS.md")
+        assert out.exists()
+        assert "METHOD ROWS" in out.read_text()

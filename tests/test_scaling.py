@@ -1,0 +1,36 @@
+"""Scaling analysis harness."""
+
+import math
+
+from repro.datasets.dbp15k import DBP15KScale
+from repro.experiments import ScalingReport, scaling_analysis
+
+
+class TestScalingReport:
+    def test_loglog_slope_linear_series(self):
+        report = ScalingReport("m", entities=[100, 200, 400],
+                               seconds=[1.0, 2.0, 4.0])
+        assert abs(report.loglog_slope() - 1.0) < 1e-9
+
+    def test_loglog_slope_quadratic_series(self):
+        report = ScalingReport("m", entities=[100, 200, 400],
+                               seconds=[1.0, 4.0, 16.0])
+        assert abs(report.loglog_slope() - 2.0) < 1e-9
+
+    def test_single_point_is_nan(self):
+        report = ScalingReport("m", entities=[100], seconds=[1.0])
+        assert math.isnan(report.loglog_slope())
+
+    def test_format_mentions_slope(self):
+        report = ScalingReport("m", entities=[10, 20], seconds=[0.1, 0.2])
+        assert "slope" in report.format()
+
+
+class TestScalingAnalysis:
+    def test_fast_method_two_scales(self):
+        base = DBP15KScale(n_persons=15, n_places=8, n_clubs=4,
+                           n_countries=3)
+        report = scaling_analysis("jape-stru", factors=(1, 2), base=base)
+        assert len(report.entities) == 2
+        assert report.entities[1] > report.entities[0]
+        assert all(s > 0 for s in report.seconds)

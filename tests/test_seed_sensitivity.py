@@ -1,0 +1,24 @@
+"""Seed-sensitivity analysis harness."""
+
+import pytest
+
+from repro.experiments import seed_sensitivity
+
+
+class TestSeedSensitivity:
+    def test_fast_method_over_two_seeds(self, tiny_pair):
+        report = seed_sensitivity("jape-stru", tiny_pair, seeds=(0, 1))
+        assert report.seeds == [0, 1]
+        assert len(report.hits_at_1) == 2
+        summary = report.summary()
+        assert set(summary) == {"H@1", "H@10", "MRR"}
+        mean, std = summary["H@1"]
+        assert 0.0 <= mean <= 1.0 and std >= 0.0
+        text = report.format()
+        assert "bootstrap" in text
+
+    def test_different_seeds_use_different_splits(self, tiny_pair):
+        seed_sensitivity("jape-stru", tiny_pair, seeds=(0, 1))
+        split_a = tiny_pair.split(seed=1000)
+        split_b = tiny_pair.split(seed=1001)
+        assert split_a.train != split_b.train

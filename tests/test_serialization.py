@@ -1,0 +1,47 @@
+"""Checkpointing: npz save/load and best-checkpoint tracking."""
+
+import numpy as np
+
+from repro.nn import BestCheckpoint, Linear, load_state, save_state
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, rng, tmp_path):
+        model = Linear(4, 3, rng)
+        path = tmp_path / "ckpt" / "model.npz"
+        save_state(model, path)
+        other = Linear(4, 3, np.random.default_rng(99))
+        assert not np.allclose(other.weight.data, model.weight.data)
+        load_state(other, path)
+        np.testing.assert_array_equal(other.weight.data, model.weight.data)
+        np.testing.assert_array_equal(other.bias.data, model.bias.data)
+
+    def test_creates_parent_directories(self, rng, tmp_path):
+        model = Linear(2, 2, rng)
+        path = tmp_path / "a" / "b" / "c.npz"
+        save_state(model, path)
+        assert path.exists()
+
+
+class TestBestCheckpoint:
+    def test_restores_best_snapshot(self, rng):
+        model = Linear(2, 2, rng)
+        keeper = BestCheckpoint(model)
+        assert keeper.update(0.5)
+        best_weights = model.weight.data.copy()
+        model.weight.data[...] = 999.0
+        assert not keeper.update(0.3)  # worse score: snapshot unchanged
+        keeper.restore()
+        np.testing.assert_array_equal(model.weight.data, best_weights)
+
+    def test_update_returns_true_only_on_improvement(self, rng):
+        keeper = BestCheckpoint(Linear(2, 2, rng))
+        assert keeper.update(0.1)
+        assert not keeper.update(0.1)
+        assert keeper.update(0.2)
+
+    def test_restore_without_update_is_noop(self, rng):
+        model = Linear(2, 2, rng)
+        before = model.weight.data.copy()
+        BestCheckpoint(model).restore()
+        np.testing.assert_array_equal(model.weight.data, before)

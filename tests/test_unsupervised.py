@@ -1,0 +1,77 @@
+"""Unsupervised pseudo-seed mining."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SDEA,
+    mine_pseudo_seeds,
+    pseudo_split,
+    seed_precision,
+    tfidf_similarity,
+)
+
+
+class TestTFIDF:
+    def test_identical_texts_rank_first(self):
+        texts = ["alpha beta gamma", "delta epsilon", "zeta eta theta"]
+        similarity = tfidf_similarity(texts, texts)
+        assert (similarity.argmax(axis=1) == np.arange(3)).all()
+
+    def test_disjoint_vocab_is_zero(self):
+        similarity = tfidf_similarity(["aaa bbb"], ["ccc ddd"])
+        assert similarity[0, 0] == pytest.approx(0.0)
+
+    def test_bounds(self):
+        similarity = tfidf_similarity(["a b c", "c d"], ["a b", "d e"])
+        assert (similarity <= 1.0 + 1e-9).all()
+        assert (similarity >= -1e-9).all()
+
+
+class TestMining:
+    def test_high_precision_on_tiny_pair(self, tiny_pair):
+        seeds = mine_pseudo_seeds(tiny_pair)
+        assert len(seeds) > 5
+        assert seed_precision(seeds, tiny_pair) > 0.9
+
+    def test_max_seeds_cap(self, tiny_pair):
+        seeds = mine_pseudo_seeds(tiny_pair, max_seeds=3)
+        assert len(seeds) <= 3
+
+    def test_strict_threshold_reduces_seeds(self, tiny_pair):
+        loose = mine_pseudo_seeds(tiny_pair, min_similarity=0.3,
+                                  min_margin=0.0)
+        strict = mine_pseudo_seeds(tiny_pair, min_similarity=0.9,
+                                   min_margin=0.3)
+        assert len(strict) <= len(loose)
+
+    def test_seed_precision_empty(self, tiny_pair):
+        assert seed_precision([], tiny_pair) == 0.0
+
+
+class TestPseudoSplit:
+    def test_partitions(self):
+        seeds = [(i, i) for i in range(10)]
+        split = pseudo_split(seeds, valid_fraction=0.2)
+        assert len(split.valid) == 2
+        assert len(split.train) == 8
+        assert split.test == []
+
+    def test_empty_seeds(self):
+        split = pseudo_split([])
+        assert split.train == [] and split.valid == []
+
+
+class TestUnsupervisedSDEA:
+    def test_fit_without_labels(self, tiny_pair, tiny_sdea_config):
+        seeds = mine_pseudo_seeds(tiny_pair)
+        split = pseudo_split(seeds, seed=1)
+        model = SDEA(tiny_sdea_config)
+        model.fit(tiny_pair, split)
+        # evaluate on the REAL ground truth, excluding mined seeds
+        seed_set = set(seeds)
+        held_out = [link for link in tiny_pair.links
+                    if link not in seed_set]
+        if held_out:
+            result = model.evaluate(held_out)
+            assert result.metrics.hits_at_1 >= 0.0
