@@ -1,12 +1,19 @@
 # Convenience targets for the SDEA reproduction.
 
-.PHONY: install test bench report clean
+.PHONY: install test bench report obs-demo clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Tiny instrumented run: prints the span report and writes a run record
+# under runs/ (inspect it with `python -m repro.cli obs`).
+obs-demo:
+	PYTHONPATH=src python -m repro.cli run --dataset srprs/dbp_yg \
+		--method jape-stru --trace
+	PYTHONPATH=src python -m repro.cli obs --no-metrics
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -12,6 +12,7 @@ stack.  Top-level convenience re-exports::
     print(model.evaluate(split.test).metrics)
 """
 
+from . import obs
 from .align import AlignmentMetrics, EvaluationResult, evaluate_embeddings
 from .core import SDEA, SDEAConfig
 from .datasets import available_datasets, build_dataset
@@ -24,5 +25,6 @@ __all__ = [
     "build_dataset", "available_datasets",
     "KnowledgeGraph", "KGPair",
     "AlignmentMetrics", "EvaluationResult", "evaluate_embeddings",
+    "obs",
     "__version__",
 ]

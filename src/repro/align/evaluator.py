@@ -7,12 +7,14 @@ evaluation), using cosine similarity over final embeddings.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..kg.pair import KGPair, Link
+from ..obs import metrics, trace
 from .matching import stable_matching
 from .metrics import (
     AlignmentMetrics,
@@ -67,21 +69,31 @@ def evaluate_embeddings(embeddings1: np.ndarray, embeddings2: np.ndarray,
     """
     if not links:
         raise ValueError("cannot evaluate with zero links")
-    similarity, targets = similarity_for_links(embeddings1, embeddings2, links)
-    if csls_k > 0:
-        from .similarity import csls_similarity_matrix
-        links = list(links)
-        sources = np.array([e1 for e1, _ in links], dtype=int)
-        targets_ids = np.array([e2 for _, e2 in links], dtype=int)
-        similarity = csls_similarity_matrix(
-            embeddings1[sources], embeddings2[targets_ids], k=csls_k
-        )
-    metrics = evaluate_similarity(similarity, targets)
+    start = time.perf_counter()
+    with trace.span("evaluate/rank", links=len(links)):
+        similarity, targets = similarity_for_links(embeddings1, embeddings2,
+                                                   links)
+        if csls_k > 0:
+            from .similarity import csls_similarity_matrix
+            links = list(links)
+            sources = np.array([e1 for e1, _ in links], dtype=int)
+            targets_ids = np.array([e2 for _, e2 in links], dtype=int)
+            similarity = csls_similarity_matrix(
+                embeddings1[sources], embeddings2[targets_ids], k=csls_k
+            )
+        alignment_metrics = evaluate_similarity(similarity, targets)
+    metrics.histogram("eval.ranking_seconds").observe(
+        time.perf_counter() - start
+    )
+    metrics.counter("eval.rankings").inc()
+    metrics.gauge("eval.candidate_set_size").set(similarity.shape[1])
+    metrics.gauge("eval.hits_at_1").set(alignment_metrics.hits_at_1)
     stable = None
     if with_stable_matching:
-        assignment = stable_matching(similarity)
-        stable = hits_at_1_from_assignment(assignment, targets)
-    return EvaluationResult(metrics=metrics, stable_hits_at_1=stable)
+        with trace.span("evaluate/stable_matching"):
+            assignment = stable_matching(similarity)
+            stable = hits_at_1_from_assignment(assignment, targets)
+    return EvaluationResult(metrics=alignment_metrics, stable_hits_at_1=stable)
 
 
 def evaluate_by_degree_bucket(embeddings1: np.ndarray, embeddings2: np.ndarray,

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
+
+from ..obs import metrics
 
 
 def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray,
@@ -22,9 +26,16 @@ def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray,
     b = np.asarray(b, dtype=np.float64)
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
         raise ValueError(f"incompatible shapes {a.shape} and {b.shape}")
+    start = time.perf_counter()
     a_norm = a / np.maximum(np.linalg.norm(a, axis=1, keepdims=True), eps)
     b_norm = b / np.maximum(np.linalg.norm(b, axis=1, keepdims=True), eps)
-    return a_norm @ b_norm.T
+    result = a_norm @ b_norm.T
+    metrics.counter("similarity.cosine.calls").inc()
+    metrics.counter("similarity.cosine.cells").inc(result.size)
+    metrics.histogram("similarity.cosine.seconds").observe(
+        time.perf_counter() - start
+    )
+    return result
 
 
 def euclidean_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -46,10 +57,16 @@ def topk_indices(similarity: np.ndarray, k: int) -> np.ndarray:
     """
     n, m = similarity.shape
     k = min(k, m)
+    start = time.perf_counter()
     part = np.argpartition(-similarity, kth=k - 1, axis=1)[:, :k]
     row_scores = np.take_along_axis(similarity, part, axis=1)
     order = np.argsort(-row_scores, axis=1, kind="stable")
-    return np.take_along_axis(part, order, axis=1)
+    result = np.take_along_axis(part, order, axis=1)
+    metrics.counter("similarity.topk.calls").inc()
+    metrics.histogram("similarity.topk.seconds").observe(
+        time.perf_counter() - start
+    )
+    return result
 
 
 def csls_similarity_matrix(a: np.ndarray, b: np.ndarray,

@@ -4,7 +4,8 @@ Usage (installed as the ``repro`` console script)::
 
     repro datasets                      # list generated benchmarks
     repro stats    --dataset dbp15k/zh_en
-    repro run      --dataset dbp15k/zh_en --method sdea --stable
+    repro run      --dataset dbp15k/zh_en --method sdea --stable --trace
+    repro obs                           # inspect the latest run record
     repro table    --table 3            # regenerate a paper table
     repro export   --dataset srprs/en_fr --out ./data/en_fr
 """
@@ -16,6 +17,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import obs
 from .datasets import available_datasets, build_dataset
 from .experiments import (
     available_methods,
@@ -66,9 +68,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"dataset: {args.dataset}  "
           f"(train/valid/test = {len(split.train)}/{len(split.valid)}/"
           f"{len(split.test)})")
-    result = run_experiment(args.method, pair, split,
-                            with_stable_matching=args.stable)
+    with obs.session(runs_dir=args.runs_dir) as sess:
+        result = run_experiment(args.method, pair, split,
+                                with_stable_matching=args.stable)
+        if args.trace:
+            print()
+            print(sess.tracer.report())
+            print()
     print(f"{args.method}: {result.row()}  ({result.seconds:.1f}s)")
+    if result.record_path is not None:
+        print(f"run record: {result.record_path}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    path = Path(args.record) if args.record else obs.latest_record(args.runs_dir)
+    if path is None:
+        print(f"no run records under {args.runs_dir!r}; "
+              "use `repro run` to create one", file=sys.stderr)
+        return 1
+    try:
+        record = obs.load_record(path)
+    except FileNotFoundError:
+        print(f"run record not found: {path}", file=sys.stderr)
+        return 1
+    except (ValueError, TypeError, AttributeError) as exc:
+        # malformed JSON, or JSON that is not a run record
+        print(f"cannot read run record {path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"({path})")
+    print(obs.format_record(record, with_spans=not args.no_spans,
+                            with_metrics=not args.no_metrics))
     return 0
 
 
@@ -143,7 +173,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--method", required=True)
     run.add_argument("--stable", action="store_true",
                      help="also report stable-matching Hits@1")
+    run.add_argument("--trace", action="store_true",
+                     help="print the hierarchical span-timing tree")
+    run.add_argument("--runs-dir", default=obs.DEFAULT_RUNS_DIR,
+                     help="directory for structured run records")
     run.set_defaults(func=_cmd_run)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="pretty-print a structured run record (default: latest)"
+    )
+    obs_cmd.add_argument("--runs-dir", default=obs.DEFAULT_RUNS_DIR)
+    obs_cmd.add_argument("--record", default=None,
+                         help="path to a specific run-record JSON")
+    obs_cmd.add_argument("--no-spans", action="store_true",
+                         help="omit the span tree")
+    obs_cmd.add_argument("--no-metrics", action="store_true",
+                         help="omit the metrics snapshot")
+    obs_cmd.set_defaults(func=_cmd_obs)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("--table", required=True, choices=sorted(_TABLES))

@@ -8,11 +8,15 @@ samples for the margin loss are drawn from these sets, which makes them
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
 from ..align.similarity import cosine_similarity_matrix, topk_indices
+from ..obs import metrics, trace
+
+_SET_SIZE_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 250, 1000)
 
 
 def gen_candidates(embeddings1: np.ndarray, embeddings2: np.ndarray,
@@ -20,8 +24,19 @@ def gen_candidates(embeddings1: np.ndarray, embeddings2: np.ndarray,
     """Top-``k`` KG2 entity ids per KG1 entity; shape ``(n1, k)``."""
     if k < 1:
         raise ValueError("k must be >= 1")
-    similarity = cosine_similarity_matrix(embeddings1, embeddings2)
-    return topk_indices(similarity, k)
+    start = time.perf_counter()
+    with trace.span("candidates/gen", k=k):
+        similarity = cosine_similarity_matrix(embeddings1, embeddings2)
+        result = topk_indices(similarity, k)
+    metrics.counter("candidates.generations").inc()
+    metrics.histogram("candidates.gen_seconds").observe(
+        time.perf_counter() - start
+    )
+    metrics.histogram(
+        "candidates.set_size", buckets=_SET_SIZE_BUCKETS
+    ).observe(result.shape[1])
+    metrics.gauge("candidates.pool_size").set(embeddings2.shape[0])
+    return result
 
 
 def sample_negatives(candidates: np.ndarray, sources: Sequence[int],

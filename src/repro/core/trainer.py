@@ -14,6 +14,7 @@ model consumes much GPU memory"):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
@@ -22,6 +23,7 @@ import numpy as np
 from ..align.evaluator import evaluate_embeddings
 from ..kg.pair import Link
 from ..nn import Adam, BestCheckpoint, Tensor, clip_grad_norm, no_grad
+from ..obs import events, metrics, trace
 from .attribute_module import AttributeEmbeddingModule, SequenceEncoder, encode_all
 from .candidates import gen_candidates, sample_negatives
 from .config import SDEAConfig
@@ -36,11 +38,38 @@ from .relation_module import (
 
 @dataclass
 class TrainLog:
-    """Per-epoch diagnostics collected during a training phase."""
+    """Per-epoch diagnostics collected during a training phase.
+
+    ``losses`` / ``valid_hits1`` / ``stopped_epoch`` are the original API;
+    ``epoch_seconds`` and ``learning_rates`` record per-epoch wall time and
+    the optimiser's learning rate at the end of each epoch (mirrored into
+    the active metrics registry — see :mod:`repro.obs`).
+    """
 
     losses: List[float] = field(default_factory=list)
     valid_hits1: List[float] = field(default_factory=list)
     stopped_epoch: int = -1
+    epoch_seconds: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+
+    def record_epoch(self, phase: str, epoch: int, loss: float,
+                     seconds: float, lr: float) -> None:
+        """Append one epoch's loss/time/lr and publish them as metrics."""
+        self.losses.append(loss)
+        self.epoch_seconds.append(seconds)
+        self.learning_rates.append(lr)
+        metrics.counter("trainer.epochs").inc(phase=phase)
+        metrics.gauge("trainer.loss").set(loss, phase=phase)
+        metrics.gauge("trainer.lr").set(lr, phase=phase)
+        metrics.histogram("trainer.epoch_seconds").observe(seconds,
+                                                           phase=phase)
+        events.debug("epoch", phase=phase, epoch=epoch, loss=loss,
+                     seconds=seconds, lr=lr)
+
+    def record_validation(self, phase: str, epoch: int, hits1: float) -> None:
+        self.valid_hits1.append(hits1)
+        metrics.gauge("trainer.valid_hits1").set(hits1, phase=phase)
+        events.debug("validation", phase=phase, epoch=epoch, hits1=hits1)
 
 
 def _batched(indices: np.ndarray, batch_size: int):
@@ -71,45 +100,64 @@ def pretrain_attribute_module(
     bad_rounds = 0
 
     for epoch in range(config.attr_epochs):
-        # Lines 2–4: refresh embeddings and candidate sets.
-        h1 = encode_all(module, encoder1)
-        h2 = encode_all(module, encoder2)
-        candidates = gen_candidates(h1, h2, k=config.num_candidates)
-        negatives = sample_negatives(candidates, sources, positives, rng)
+        epoch_start = time.perf_counter()
+        with trace.span("attr_pretrain/epoch", epoch=epoch):
+            # Lines 2–4: refresh embeddings and candidate sets.
+            with trace.span("encode"):
+                h1 = encode_all(module, encoder1)
+                h2 = encode_all(module, encoder2)
+            with trace.span("candidates"):
+                candidates = gen_candidates(h1, h2, k=config.num_candidates)
+                negatives = sample_negatives(candidates, sources, positives,
+                                             rng)
 
-        # Lines 5–10: margin-loss updates over the training pairs.
-        module.train()
-        order = rng.permutation(len(train_links))
-        epoch_losses = []
-        for batch_idx in _batched(order, config.attr_batch_size):
-            batch_src = sources[batch_idx]
-            batch_pos = positives[batch_idx]
-            batch_neg = negatives[batch_idx]
-            ids_a, mask_a = encoder1.batch(batch_src)
-            ids_p, mask_p = encoder2.batch(batch_pos)
-            ids_n, mask_n = encoder2.batch(batch_neg)
-            anchor = module(ids_a, mask_a)
-            positive = module(ids_p, mask_p)
-            negative = module(ids_n, mask_n)
-            loss = triplet_margin_loss(anchor, positive, negative, config.margin)
-            optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(module.parameters(), 5.0)
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        log.losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
-
-        # Line 11: validation with early stopping on Hits@1.
-        h1 = encode_all(module, encoder1)
-        h2 = encode_all(module, encoder2)
-        hits1 = _validation_hits1(h1, h2, valid_links)
-        log.valid_hits1.append(hits1)
+            # Lines 5–10: margin-loss updates over the training pairs.
+            module.train()
+            order = rng.permutation(len(train_links))
+            epoch_losses = []
+            batch_hist = metrics.histogram("trainer.batch_seconds")
+            for batch_idx in _batched(order, config.attr_batch_size):
+                batch_start = time.perf_counter()
+                with trace.span("batch"):
+                    batch_src = sources[batch_idx]
+                    batch_pos = positives[batch_idx]
+                    batch_neg = negatives[batch_idx]
+                    ids_a, mask_a = encoder1.batch(batch_src)
+                    ids_p, mask_p = encoder2.batch(batch_pos)
+                    ids_n, mask_n = encoder2.batch(batch_neg)
+                    anchor = module(ids_a, mask_a)
+                    positive = module(ids_p, mask_p)
+                    negative = module(ids_n, mask_n)
+                    loss = triplet_margin_loss(anchor, positive, negative,
+                                               config.margin)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(module.parameters(), 5.0)
+                    optimizer.step()
+                    epoch_losses.append(loss.item())
+                batch_hist.observe(time.perf_counter() - batch_start,
+                                   phase="attr")
+                events.every(50, "batch", phase="attr",
+                             loss=epoch_losses[-1])
+            # Line 11: validation with early stopping on Hits@1.
+            with trace.span("validate"):
+                h1 = encode_all(module, encoder1)
+                h2 = encode_all(module, encoder2)
+                hits1 = _validation_hits1(h1, h2, valid_links)
+            log.record_epoch(
+                "attr", epoch,
+                float(np.mean(epoch_losses)) if epoch_losses else 0.0,
+                time.perf_counter() - epoch_start, optimizer.lr,
+            )
+            log.record_validation("attr", epoch, hits1)
         if checkpoint.update(hits1):
             bad_rounds = 0
         else:
             bad_rounds += 1
             if bad_rounds >= config.patience:
                 log.stopped_epoch = epoch
+                events.info("early_stop", phase="attr", epoch=epoch,
+                            best_hits1=max(log.valid_hits1))
                 break
 
     checkpoint.restore()
@@ -185,7 +233,8 @@ def train_relation_model(
     positives = np.array([e2 for _, e2 in train_links], dtype=int)
 
     # Line 1: candidates from the *pre-trained attribute* embeddings, once.
-    candidates = gen_candidates(attr1, attr2, k=config.num_candidates)
+    with trace.span("rel_train/candidates"):
+        candidates = gen_candidates(attr1, attr2, k=config.num_candidates)
 
     def forward_side(side: int, entity_ids: np.ndarray):
         attrs = attr1 if side == 1 else attr2
@@ -201,33 +250,48 @@ def train_relation_model(
     checkpoint_joint = BestCheckpoint(joint)
     bad_rounds = 0
     for epoch in range(config.rel_epochs):
-        negatives = sample_negatives(candidates, sources, positives, rng)
-        relation_module.train()
-        joint.train()
-        order = rng.permutation(len(train_links))
-        epoch_losses = []
-        for batch_idx in _batched(order, config.rel_batch_size):
-            anchor = forward_side(1, sources[batch_idx])
-            positive = forward_side(2, positives[batch_idx])
-            negative = forward_side(2, negatives[batch_idx])
-            loss = triplet_margin_loss(anchor, positive, negative, config.margin)
-            optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(parameters, 5.0)
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        log.losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
-
-        # Line 12: validate with the full H_ent embeddings.
-        if valid_links:
-            v_src = np.array([e1 for e1, _ in valid_links], dtype=int)
-            v_tgt = np.array([e2 for _, e2 in valid_links], dtype=int)
-            emb1 = model.embed_entities(1, v_src)
-            emb2 = model.embed_entities(2, v_tgt)
-            hits1 = _validation_hits1_arrays(emb1, emb2)
-        else:
-            hits1 = -float(np.mean(epoch_losses)) if epoch_losses else 0.0
-        log.valid_hits1.append(hits1)
+        epoch_start = time.perf_counter()
+        with trace.span("rel_train/epoch", epoch=epoch):
+            negatives = sample_negatives(candidates, sources, positives, rng)
+            relation_module.train()
+            joint.train()
+            order = rng.permutation(len(train_links))
+            epoch_losses = []
+            batch_hist = metrics.histogram("trainer.batch_seconds")
+            for batch_idx in _batched(order, config.rel_batch_size):
+                batch_start = time.perf_counter()
+                with trace.span("batch"):
+                    anchor = forward_side(1, sources[batch_idx])
+                    positive = forward_side(2, positives[batch_idx])
+                    negative = forward_side(2, negatives[batch_idx])
+                    loss = triplet_margin_loss(anchor, positive, negative,
+                                               config.margin)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(parameters, 5.0)
+                    optimizer.step()
+                    epoch_losses.append(loss.item())
+                batch_hist.observe(time.perf_counter() - batch_start,
+                                   phase="rel")
+                events.every(50, "batch", phase="rel",
+                             loss=epoch_losses[-1])
+            # Line 12: validate with the full H_ent embeddings.
+            with trace.span("validate"):
+                if valid_links:
+                    v_src = np.array([e1 for e1, _ in valid_links], dtype=int)
+                    v_tgt = np.array([e2 for _, e2 in valid_links], dtype=int)
+                    emb1 = model.embed_entities(1, v_src)
+                    emb2 = model.embed_entities(2, v_tgt)
+                    hits1 = _validation_hits1_arrays(emb1, emb2)
+                else:
+                    hits1 = (-float(np.mean(epoch_losses))
+                             if epoch_losses else 0.0)
+            log.record_epoch(
+                "rel", epoch,
+                float(np.mean(epoch_losses)) if epoch_losses else 0.0,
+                time.perf_counter() - epoch_start, optimizer.lr,
+            )
+            log.record_validation("rel", epoch, hits1)
         improved = checkpoint_rel.update(hits1)
         checkpoint_joint.update(hits1)
         if improved:
@@ -236,6 +300,8 @@ def train_relation_model(
             bad_rounds += 1
             if bad_rounds >= config.patience:
                 log.stopped_epoch = epoch
+                events.info("early_stop", phase="rel", epoch=epoch,
+                            best_hits1=max(log.valid_hits1))
                 break
 
     checkpoint_rel.restore()

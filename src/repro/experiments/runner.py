@@ -1,19 +1,34 @@
-"""Experiment runner: train + evaluate one method on one dataset."""
+"""Experiment runner: train + evaluate one method on one dataset.
+
+Every invocation is traced (``run → fit / evaluate`` spans) and, while an
+observability session (:func:`repro.obs.session`) is active, a structured
+run record is written under the session's ``runs_dir`` — see
+``docs/observability.md``.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..align.evaluator import EvaluationResult
 from ..kg.pair import AlignmentSplit, KGPair
+from ..obs import events, trace
+from ..obs.runrecord import RunRecord, write_record
+from ..obs.session import active_session
 from .methods import make_method
 
 
 @dataclass
 class ExperimentResult:
-    """One (method, dataset) cell of a results table."""
+    """One (method, dataset) cell of a results table.
+
+    ``seconds`` is the total train+evaluate wall time;
+    ``fit_seconds`` / ``eval_seconds`` attribute it to the two stages.
+    """
 
     method: str
     dataset: str
@@ -22,11 +37,16 @@ class ExperimentResult:
     mrr: float
     stable_hits_at_1: Optional[float]
     seconds: float
+    fit_seconds: float = 0.0
+    eval_seconds: float = 0.0
+    record_path: Optional[Path] = None
 
     @classmethod
     def from_evaluation(cls, method: str, dataset: str,
                         result: EvaluationResult,
-                        seconds: float) -> "ExperimentResult":
+                        seconds: float,
+                        fit_seconds: float = 0.0,
+                        eval_seconds: float = 0.0) -> "ExperimentResult":
         return cls(
             method=method,
             dataset=dataset,
@@ -35,6 +55,8 @@ class ExperimentResult:
             mrr=result.metrics.mrr,
             stable_hits_at_1=result.stable_hits_at_1,
             seconds=seconds,
+            fit_seconds=fit_seconds,
+            eval_seconds=eval_seconds,
         )
 
     def row(self) -> Dict[str, float]:
@@ -45,7 +67,52 @@ class ExperimentResult:
         }
         if self.stable_hits_at_1 is not None:
             out["stable-H@1"] = round(100 * self.stable_hits_at_1, 1)
+        out["fit(s)"] = round(self.fit_seconds, 2)
+        out["eval(s)"] = round(self.eval_seconds, 2)
         return out
+
+
+def _method_config(method) -> tuple[Dict[str, object], Optional[int]]:
+    """Best-effort (config dict, seed) extraction from an Aligner."""
+    for holder in (method, getattr(method, "model", None)):
+        config = getattr(holder, "config", None)
+        if config is None:
+            continue
+        if dataclasses.is_dataclass(config) and not isinstance(config, type):
+            as_dict = dataclasses.asdict(config)
+        elif isinstance(config, dict):
+            as_dict = dict(config)
+        else:
+            continue
+        seed = as_dict.get("seed")
+        return as_dict, seed if isinstance(seed, int) else None
+    return {}, None
+
+
+def _write_run_record(result: ExperimentResult, method) -> Optional[Path]:
+    """Persist a run record when an obs session with a runs_dir is active."""
+    session = active_session()
+    if session is None or session.runs_dir is None:
+        return None
+    from ..obs.runrecord import version_stamp
+    config, seed = _method_config(method)
+    record = RunRecord(
+        method=result.method,
+        dataset=result.dataset,
+        timestamp=time.time(),
+        config=config,
+        seed=seed,
+        version=version_stamp(),
+        results=result.row(),
+        timing={
+            "fit_seconds": result.fit_seconds,
+            "eval_seconds": result.eval_seconds,
+            "total_seconds": result.seconds,
+        },
+        metrics=session.registry.snapshot(),
+        spans=session.tracer.to_dict(),
+    )
+    return write_record(record, session.runs_dir)
 
 
 def run_experiment(method_name: str, pair: KGPair,
@@ -54,15 +121,30 @@ def run_experiment(method_name: str, pair: KGPair,
     """Fit ``method_name`` on the pair's train split; evaluate on test."""
     split = split or pair.split()
     method = make_method(method_name)
-    start = time.perf_counter()
-    method.fit(pair, split)
-    evaluation = method.evaluate(
-        split.test, with_stable_matching=with_stable_matching
+    events.info("run_start", method=method_name, dataset=pair.name,
+                train=len(split.train), valid=len(split.valid),
+                test=len(split.test))
+    with trace.span("run", method=method_name, dataset=pair.name):
+        fit_start = time.perf_counter()
+        with trace.span("fit"):
+            method.fit(pair, split)
+        fit_seconds = time.perf_counter() - fit_start
+        eval_start = time.perf_counter()
+        with trace.span("evaluate"):
+            evaluation = method.evaluate(
+                split.test, with_stable_matching=with_stable_matching
+            )
+        eval_seconds = time.perf_counter() - eval_start
+    result = ExperimentResult.from_evaluation(
+        method_name, pair.name, evaluation,
+        seconds=fit_seconds + eval_seconds,
+        fit_seconds=fit_seconds, eval_seconds=eval_seconds,
     )
-    elapsed = time.perf_counter() - start
-    return ExperimentResult.from_evaluation(
-        method_name, pair.name, evaluation, elapsed
-    )
+    result.record_path = _write_run_record(result, method)
+    events.info("run_end", method=method_name, dataset=pair.name,
+                hits_at_1=result.hits_at_1, fit_seconds=fit_seconds,
+                eval_seconds=eval_seconds)
+    return result
 
 
 def run_suite(method_names: Sequence[str], pair: KGPair,

@@ -11,6 +11,7 @@ from typing import Iterable, List
 
 import numpy as np
 
+from ..obs import metrics
 from .module import Parameter
 
 
@@ -42,6 +43,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        metrics.counter("optim.steps").inc(optimizer="sgd")
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
@@ -71,6 +73,7 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        metrics.counter("optim.steps").inc(optimizer="adam")
         self._step_count += 1
         t = self._step_count
         bias1 = 1.0 - self.beta1**t
@@ -139,7 +142,9 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """
     params = [p for p in parameters if p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    metrics.gauge("optim.grad_norm").set(total)
     if total > max_norm and total > 0:
+        metrics.counter("optim.grad_clips").inc()
         scale = max_norm / total
         for param in params:
             param.grad *= scale

@@ -1,0 +1,78 @@
+"""repro.obs — dependency-free observability for the whole stack.
+
+Four parts (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  registry with labeled series and percentile estimates.
+* :mod:`repro.obs.tracing` — hierarchical span tracer/profiler
+  (``with trace.span("attr_pretrain/epoch", epoch=i): ...``).
+* :mod:`repro.obs.events` — leveled ``key=value`` structured event log
+  with JSONL / stderr sinks and rate limiting.
+* :mod:`repro.obs.runrecord` — per-run JSON manifests under ``runs/``.
+
+Everything is a no-op until a :func:`session` is entered (or a live
+registry/tracer/event log is installed explicitly), so instrumented hot
+paths cost ~nothing by default.  Typical use::
+
+    from repro import obs
+
+    with obs.session(runs_dir="runs") as sess:
+        run_experiment("sdea", pair, split)   # writes runs/<id>.json
+        print(sess.tracer.report())
+
+Instrumented library code imports the submodules and calls through the
+process-global instances::
+
+    from repro.obs import events, metrics, trace
+
+    metrics.counter("optim.steps").inc()
+    with trace.span("evaluate/rank"):
+        ...
+    events.info("early_stop", phase="attr", epoch=epoch)
+"""
+
+from . import events, metrics
+from . import tracing as trace
+from .events import EventLog, JsonlSink, StderrSink
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .runrecord import (
+    DEFAULT_RUNS_DIR,
+    RunRecord,
+    format_record,
+    latest_record,
+    list_records,
+    load_record,
+    version_stamp,
+    write_record,
+)
+from .session import ObsSession, active_session, is_active, session
+from .tracing import (
+    NullTracer,
+    SpanNode,
+    Tracer,
+    format_span_tree,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "metrics", "trace", "events",
+    "Counter", "Gauge", "Histogram", "Registry", "NullRegistry",
+    "get_registry", "set_registry", "use_registry",
+    "Tracer", "NullTracer", "SpanNode", "format_span_tree",
+    "get_tracer", "set_tracer", "use_tracer",
+    "EventLog", "JsonlSink", "StderrSink",
+    "RunRecord", "write_record", "load_record", "latest_record",
+    "list_records", "format_record", "version_stamp", "DEFAULT_RUNS_DIR",
+    "ObsSession", "session", "active_session", "is_active",
+]

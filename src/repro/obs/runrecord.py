@@ -1,0 +1,192 @@
+"""Structured run records — one JSON manifest per experiment invocation.
+
+A :class:`RunRecord` captures everything needed to interpret (and later
+compare) a run: the method + dataset, the full hyper-parameter config,
+the master seed, a best-effort version stamp (git describe when the repo
+is available, else the package version), headline results, split fit vs.
+evaluate timing, a metrics-registry snapshot, and the hierarchical span
+tree.  Records are written to ``runs/<timestamp>-<method>-<dataset>.json``
+(the directory is gitignored) and rendered back with
+:func:`format_record` / the ``repro obs`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .tracing import format_span_tree
+
+__all__ = [
+    "RunRecord", "version_stamp",
+    "write_record", "load_record", "latest_record", "list_records",
+    "format_record", "DEFAULT_RUNS_DIR",
+]
+
+DEFAULT_RUNS_DIR = "runs"
+SCHEMA_VERSION = 1
+
+
+def version_stamp(repo_root: Optional[Path] = None) -> Dict[str, object]:
+    """Best-effort provenance: package version, git describe, platform."""
+    stamp: Dict[str, object] = {"python": platform.python_version()}
+    try:
+        from .. import __version__
+        stamp["repro"] = __version__
+    except Exception:  # pragma: no cover - package metadata always present
+        stamp["repro"] = "unknown"
+    try:
+        import numpy
+        stamp["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover
+        pass
+    root = Path(repo_root) if repo_root else Path(__file__).resolve().parents[3]
+    try:
+        described = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=root, capture_output=True, text=True, timeout=5,
+        )
+        if described.returncode == 0:
+            stamp["git"] = described.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return stamp
+
+
+def _slug(text: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "-" for c in text)
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """The JSON-able manifest of one ``run_experiment`` invocation."""
+
+    method: str
+    dataset: str
+    timestamp: float
+    config: Dict[str, object] = dataclasses.field(default_factory=dict)
+    seed: Optional[int] = None
+    version: Dict[str, object] = dataclasses.field(default_factory=dict)
+    results: Dict[str, object] = dataclasses.field(default_factory=dict)
+    timing: Dict[str, float] = dataclasses.field(default_factory=dict)
+    metrics: Dict[str, object] = dataclasses.field(default_factory=dict)
+    spans: Dict[str, object] = dataclasses.field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def run_id(self) -> str:
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime(self.timestamp))
+        return f"{stamp}-{_slug(self.method)}-{_slug(self.dataset)}"
+
+    def to_dict(self) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        out["run_id"] = self.run_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+def write_record(record: RunRecord, runs_dir=DEFAULT_RUNS_DIR) -> Path:
+    """Serialise ``record`` under ``runs_dir``; returns the written path."""
+    directory = Path(runs_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{record.run_id}.json"
+    # Avoid clobbering a record from the same second (suite runs).
+    counter = 1
+    while path.exists():
+        path = directory / f"{record.run_id}.{counter}.json"
+        counter += 1
+    path.write_text(
+        json.dumps(record.to_dict(), indent=2, sort_keys=True, default=str),
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_record(path) -> RunRecord:
+    """Parse a run-record JSON file back into a :class:`RunRecord`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return RunRecord.from_dict(data)
+
+
+def list_records(runs_dir=DEFAULT_RUNS_DIR) -> List[Path]:
+    """Run-record paths under ``runs_dir``, oldest first."""
+    directory = Path(runs_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(p for p in directory.glob("*.json") if p.is_file())
+
+
+def latest_record(runs_dir=DEFAULT_RUNS_DIR) -> Optional[Path]:
+    """The most recently written record under ``runs_dir`` (or None)."""
+    paths = list_records(runs_dir)
+    return paths[-1] if paths else None
+
+
+def _format_metrics(metrics: Dict[str, object]) -> List[str]:
+    lines: List[str] = []
+    for name, payload in sorted(metrics.items()):
+        kind = payload.get("kind", "?") if isinstance(payload, dict) else "?"
+        series = payload.get("series", []) if isinstance(payload, dict) else []
+        for entry in series:
+            labels = entry.get("labels", {})
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            display = f"{name}{{{label_text}}}" if label_text else name
+            if kind == "histogram":
+                lines.append(
+                    f"  {display:<44} n={entry.get('count', 0):<6} "
+                    f"mean={_num(entry.get('sum', 0.0), entry.get('count', 0))} "
+                    f"p50={entry.get('p50', 0):.4g} "
+                    f"p95={entry.get('p95', 0):.4g} "
+                    f"max={entry.get('max')}"
+                )
+            else:
+                lines.append(
+                    f"  {display:<44} {entry.get('value', 0):.6g}"
+                )
+    return lines
+
+
+def _num(total: float, count: int) -> str:
+    return f"{total / count:.4g}" if count else "0"
+
+
+def format_record(record: RunRecord, with_spans: bool = True,
+                  with_metrics: bool = True) -> str:
+    """Indented text report of one run record (``repro obs`` output)."""
+    lines = [f"run    {record.run_id}"]
+    lines.append(f"method {record.method}   dataset {record.dataset}"
+                 + (f"   seed {record.seed}" if record.seed is not None else ""))
+    if record.version:
+        version = " ".join(f"{k}={v}" for k, v in sorted(record.version.items()))
+        lines.append(f"build  {version}")
+    if record.timing:
+        timing = "  ".join(
+            f"{k}={v:.3f}s" for k, v in sorted(record.timing.items())
+        )
+        lines.append(f"timing {timing}")
+    if record.results:
+        results = "  ".join(
+            f"{k}={v}" for k, v in sorted(record.results.items())
+        )
+        lines.append(f"result {results}")
+    if record.config:
+        lines.append("config " + json.dumps(record.config, sort_keys=True,
+                                            default=str))
+    if with_metrics and record.metrics:
+        lines.append("")
+        lines.append("metrics:")
+        lines.extend(_format_metrics(record.metrics))
+    if with_spans and record.spans:
+        lines.append("")
+        lines.append("spans:")
+        lines.append(format_span_tree(record.spans))
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Observability sessions: activate metrics + tracing + events together.
+
+The instruments default to no-ops; an :class:`ObsSession` swaps live
+instances into the process-global slots for the duration of a ``with``
+block (and restores whatever was there before — sessions nest)::
+
+    from repro import obs
+
+    with obs.session(runs_dir="runs") as sess:
+        result = run_experiment("sdea", pair, split)
+        print(sess.tracer.report())
+
+While a session is active, :func:`repro.experiments.run_experiment`
+writes a run record for every invocation (see
+:mod:`repro.obs.runrecord`); set ``runs_dir=None`` to collect metrics and
+spans without persisting anything.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import events as events_mod
+from . import metrics as metrics_mod
+from . import tracing as tracing_mod
+from .events import EventLog, JsonlSink, StderrSink
+from .metrics import Registry
+from .tracing import Tracer
+
+__all__ = ["ObsSession", "session", "active_session", "is_active"]
+
+_active: Optional["ObsSession"] = None
+
+
+class ObsSession:
+    """A bundle of live registry + tracer + event log, globally installed."""
+
+    def __init__(self, runs_dir: Optional[str] = "runs",
+                 trace_alloc: bool = False,
+                 events_jsonl=None,
+                 events_stderr: bool = False,
+                 stderr_level: int = events_mod.INFO):
+        self.runs_dir = runs_dir
+        self.registry = Registry()
+        self.tracer = Tracer(trace_alloc=trace_alloc)
+        sinks: List = []
+        if events_jsonl is not None:
+            sinks.append(JsonlSink(events_jsonl))
+        if events_stderr:
+            sinks.append(StderrSink(min_level=stderr_level))
+        self.events = EventLog(sinks)
+        self._previous = None
+
+    def __enter__(self) -> "ObsSession":
+        global _active
+        self._previous = (
+            metrics_mod.set_registry(self.registry),
+            tracing_mod.set_tracer(self.tracer),
+            events_mod.set_event_log(self.events),
+            _active,
+        )
+        _active = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _active
+        prev_registry, prev_tracer, prev_events, prev_active = self._previous
+        metrics_mod.set_registry(prev_registry)
+        tracing_mod.set_tracer(prev_tracer)
+        events_mod.set_event_log(prev_events)
+        _active = prev_active
+        self.events.close()
+
+
+def session(runs_dir: Optional[str] = "runs", trace_alloc: bool = False,
+            events_jsonl=None, events_stderr: bool = False,
+            stderr_level: int = events_mod.INFO) -> ObsSession:
+    """Create an :class:`ObsSession` (use as a context manager)."""
+    return ObsSession(runs_dir=runs_dir, trace_alloc=trace_alloc,
+                      events_jsonl=events_jsonl, events_stderr=events_stderr,
+                      stderr_level=stderr_level)
+
+
+def active_session() -> Optional[ObsSession]:
+    """The innermost active session, or None when observability is off."""
+    return _active
+
+
+def is_active() -> bool:
+    return _active is not None

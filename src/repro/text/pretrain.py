@@ -13,6 +13,7 @@ Masking follows BERT: 15% of tokens are selected; of these 80% become
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
@@ -20,6 +21,7 @@ import numpy as np
 
 from ..nn import Adam, clip_grad_norm
 from ..nn import functional as F
+from ..obs import events, metrics, trace
 from .bert import BertConfig, BertForMaskedLM
 from .tokenizer import WordPieceTokenizer
 
@@ -79,33 +81,54 @@ def pretrain_mlm(model: BertForMaskedLM, tokenizer: WordPieceTokenizer,
     epoch_losses: List[float] = []
 
     model.train()
-    for _ in range(config.epochs):
-        order = rng.permutation(len(texts))
-        losses: List[float] = []
-        for start in range(0, len(order), config.batch_size):
-            batch_texts = [texts[i] for i in order[start:start + config.batch_size]]
-            ids = np.empty((len(batch_texts), config.max_len), dtype=np.int64)
-            attention = np.empty((len(batch_texts), config.max_len), dtype=bool)
-            for row, text in enumerate(batch_texts):
-                row_ids, row_mask = tokenizer.encode(text, config.max_len)
-                ids[row] = row_ids
-                attention[row] = row_mask
-            corrupted, labels = mask_tokens(
-                ids, attention, vocab.mask_id, len(vocab), rng, config.mask_prob
-            )
-            if (labels == IGNORE_INDEX).all():
-                continue
-            logits = model(corrupted, attention)
-            flat_logits = logits.reshape(-1, len(vocab))
-            loss = F.cross_entropy(flat_logits, labels.reshape(-1),
-                                   ignore_index=IGNORE_INDEX)
-            optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(model.parameters(), config.max_grad_norm)
-            optimizer.step()
-            losses.append(loss.item())
+    for epoch in range(config.epochs):
+        epoch_start = time.perf_counter()
+        with trace.span("mlm/epoch", epoch=epoch):
+            order = rng.permutation(len(texts))
+            losses: List[float] = []
+            for start in range(0, len(order), config.batch_size):
+                with trace.span("batch"):
+                    batch_texts = [
+                        texts[i]
+                        for i in order[start:start + config.batch_size]
+                    ]
+                    ids = np.empty((len(batch_texts), config.max_len),
+                                   dtype=np.int64)
+                    attention = np.empty((len(batch_texts), config.max_len),
+                                         dtype=bool)
+                    for row, text in enumerate(batch_texts):
+                        row_ids, row_mask = tokenizer.encode(text,
+                                                             config.max_len)
+                        ids[row] = row_ids
+                        attention[row] = row_mask
+                    corrupted, labels = mask_tokens(
+                        ids, attention, vocab.mask_id, len(vocab), rng,
+                        config.mask_prob
+                    )
+                    if (labels == IGNORE_INDEX).all():
+                        continue
+                    logits = model(corrupted, attention)
+                    flat_logits = logits.reshape(-1, len(vocab))
+                    loss = F.cross_entropy(flat_logits, labels.reshape(-1),
+                                           ignore_index=IGNORE_INDEX)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(model.parameters(), config.max_grad_norm)
+                    optimizer.step()
+                    losses.append(loss.item())
+                events.every(50, "batch", phase="mlm", loss=losses[-1]
+                             if losses else float("nan"))
         mean_loss = float(np.mean(losses)) if losses else float("nan")
         epoch_losses.append(mean_loss)
+        metrics.counter("trainer.epochs").inc(phase="mlm")
+        metrics.gauge("trainer.loss").set(mean_loss, phase="mlm")
+        # One labeled series per epoch => the loss curve survives in the
+        # registry snapshot (and therefore in run records).
+        metrics.gauge("mlm.loss_curve").set(mean_loss, epoch=epoch)
+        metrics.histogram("trainer.epoch_seconds").observe(
+            time.perf_counter() - epoch_start, phase="mlm"
+        )
+        events.debug("epoch", phase="mlm", epoch=epoch, loss=mean_loss)
         if log is not None:
             log.append(mean_loss)
     model.eval()

@@ -34,12 +34,16 @@ class TestCommands:
         assert "Entities" in out
         assert "1~3" in out
 
-    def test_run_fast_method(self, capsys):
+    def test_run_fast_method(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
         assert main(["run", "--dataset", "srprs/dbp_wd",
-                     "--method", "jape-stru"]) == 0
+                     "--method", "jape-stru",
+                     "--runs-dir", str(runs_dir)]) == 0
         out = capsys.readouterr().out
         assert "jape-stru" in out
         assert "H@1" in out
+        assert "run record:" in out
+        assert list(runs_dir.glob("*.json")), "run record was not written"
 
     def test_table_rejects_bad_number(self, capsys):
         with pytest.raises(SystemExit):

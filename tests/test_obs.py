@@ -1,0 +1,440 @@
+"""Unit tests for repro.obs: metrics, tracing, events, run records."""
+
+import io
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import events as events_mod
+from repro.obs import metrics as metrics_mod
+from repro.obs import tracing as tracing_mod
+from repro.obs.events import INFO, WARN, EventLog, JsonlSink, StderrSink
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    use_registry,
+)
+from repro.obs.runrecord import (
+    RunRecord,
+    format_record,
+    latest_record,
+    list_records,
+    load_record,
+    version_stamp,
+    write_record,
+)
+from repro.obs.tracing import NullTracer, SpanNode, Tracer, use_tracer
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_are_independent_series(self):
+        c = Counter("c")
+        c.inc(optimizer="adam")
+        c.inc(3, optimizer="sgd")
+        assert c.value(optimizer="adam") == 1
+        assert c.value(optimizer="sgd") == 3
+        assert c.value() == 0
+        labels = c.series_labels()
+        assert {"optimizer": "adam"} in labels
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_value_and_minmax(self):
+        g = Gauge("g")
+        for v in (3.0, 1.0, 2.0):
+            g.set(v)
+        assert g.value() == 2.0
+        snap = g.snapshot()["series"][0]
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+
+    def test_unset_is_none(self):
+        assert Gauge("g").value() is None
+
+
+class TestHistogram:
+    def test_bucket_counts(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()["series"][0]
+        # Buckets are inclusive upper bounds; 100 goes to overflow.
+        assert snap["counts"] == [2, 1, 1, 1]
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(107.0)
+
+    def test_percentile_estimates(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 3.0, 4.0):
+            h.observe(v)
+        assert h.percentile(25) == 1.0
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 5.0
+
+    def test_overflow_percentile_reports_exact_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(42.0)
+        assert h.percentile(99) == 42.0
+
+    def test_empty_percentile(self):
+        assert Histogram("h").percentile(95) == 0.0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=1, max_size=200,
+        ),
+        bounds=st.lists(
+            st.floats(min_value=1e-3, max_value=1e4, allow_nan=False),
+            min_size=1, max_size=12, unique=True,
+        ),
+        p=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_percentile_is_conservative_upper_bound(self, values, bounds, p):
+        """The estimate never underestimates the true percentile, and is
+        never looser than one bucket: it equals the smallest bound >= the
+        true rank value (or the exact max in the overflow bucket)."""
+        bounds = sorted(bounds)
+        h = Histogram("h", buckets=bounds)
+        for v in values:
+            h.observe(v)
+        assert h.count() == len(values)
+        assert h.sum() == pytest.approx(math.fsum(values))
+
+        estimate = h.percentile(p)
+        rank = max(1, math.ceil(len(values) * p / 100.0))
+        true_value = sorted(values)[rank - 1]
+        assert estimate >= true_value or estimate == pytest.approx(true_value)
+        # Tightness: the estimate is the first bound at/above true_value,
+        # unless true_value overflows every bound (then it's the max).
+        covering = [b for b in bounds if b >= true_value]
+        if covering:
+            assert estimate <= covering[0] or estimate == pytest.approx(
+                covering[0]
+            )
+        else:
+            assert estimate == max(values)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        r = Registry()
+        assert r.counter("a") is r.counter("a")
+        assert r.names() == ["a"]
+
+    def test_kind_conflict_raises(self):
+        r = Registry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_snapshot_round_trips_through_json(self):
+        r = Registry()
+        r.counter("steps").inc(5, phase="attr")
+        r.gauge("lr").set(1e-3)
+        r.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        snap = json.loads(json.dumps(r.snapshot()))
+        assert snap["steps"]["kind"] == "counter"
+        assert snap["lat"]["series"][0]["count"] == 1
+
+    def test_default_is_noop_null_registry(self):
+        registry = metrics_mod.get_registry()
+        assert isinstance(registry, NullRegistry)
+        assert not registry.enabled
+        # No-op instruments swallow writes and report zeros.
+        registry.counter("x").inc()
+        assert registry.counter("x").value() == 0.0
+        registry.histogram("h").observe(1.0)
+        assert registry.histogram("h").count() == 0
+        assert registry.snapshot() == {}
+
+    def test_use_registry_installs_and_restores(self):
+        before = metrics_mod.get_registry()
+        live = Registry()
+        with use_registry(live):
+            assert metrics_mod.get_registry() is live
+            metrics_mod.counter("x").inc()
+        assert metrics_mod.get_registry() is before
+        assert live.counter("x").value() == 1
+
+
+class TestTracer:
+    def test_nesting_builds_a_tree(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner"):
+                pass
+        outer = t.root.children["outer"]
+        assert outer.calls == 1
+        assert outer.children["inner"].calls == 2
+        assert outer.wall >= outer.children["inner"].wall
+
+    def test_exception_safety(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("outer"):
+                with t.span("inner"):
+                    raise RuntimeError("boom")
+        inner = t.root.children["outer"].children["inner"]
+        assert inner.errors == 1
+        assert inner.calls == 1
+        # The stack unwound fully: new spans attach at the root again.
+        with t.span("after"):
+            pass
+        assert "after" in t.root.children
+
+    def test_attrs_recorded(self):
+        t = Tracer()
+        with t.span("epoch", epoch=3):
+            pass
+        assert t.root.children["epoch"].attrs == {"epoch": 3}
+
+    def test_to_dict_roundtrip(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        tree = json.loads(json.dumps(t.to_dict()))
+        restored = SpanNode.from_dict(tree)
+        assert restored.children["a"].children["b"].calls == 1
+
+    def test_root_wall_is_sum_of_children(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        tree = t.to_dict()
+        expected = (t.root.children["a"].wall + t.root.children["b"].wall)
+        assert tree["wall_seconds"] == pytest.approx(expected)
+
+    def test_write_jsonl_one_line_per_node(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        buf = io.StringIO()
+        count = t.write_jsonl(buf)
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert count == len(lines) == 3  # root, a, b
+        paths = {line["path"] for line in lines}
+        assert "root/a/b" in paths
+        assert all("children" not in line for line in lines)
+
+    def test_report_renders_indented_tree(self):
+        t = Tracer()
+        with t.span("fit"):
+            with t.span("epoch"):
+                pass
+        report = t.report()
+        assert "fit" in report
+        assert "  epoch" in report.splitlines()[-1]
+
+    def test_null_tracer_is_default_and_noop(self):
+        tracer = tracing_mod.get_tracer()
+        assert isinstance(tracer, NullTracer)
+        with tracing_mod.span("anything"):
+            pass
+        assert tracer.root.children == {}
+
+    def test_use_tracer_installs_and_restores(self):
+        before = tracing_mod.get_tracer()
+        live = Tracer()
+        with use_tracer(live):
+            with tracing_mod.span("x"):
+                pass
+        assert tracing_mod.get_tracer() is before
+        assert "x" in live.root.children
+
+
+class TestEvents:
+    def test_no_sinks_drops_everything(self):
+        log = EventLog()
+        log.info("event", a=1)  # must not raise
+        assert not log.enabled
+
+    def test_jsonl_sink_round_trip(self):
+        buf = io.StringIO()
+        log = EventLog([JsonlSink(buf)])
+        log.info("run_start", method="sdea", n=3)
+        record = json.loads(buf.getvalue())
+        assert record["event"] == "run_start"
+        assert record["method"] == "sdea"
+        assert record["level"] == INFO
+        assert "ts" in record
+
+    def test_stderr_sink_formats_and_filters(self):
+        buf = io.StringIO()
+        log = EventLog([StderrSink(min_level=WARN, stream=buf)])
+        log.info("quiet")
+        log.warn("loud", code=7)
+        out = buf.getvalue()
+        assert "quiet" not in out
+        assert "WARN" in out and "loud" in out and "code=7" in out
+
+    def test_every_rate_limits(self):
+        buf = io.StringIO()
+        log = EventLog([JsonlSink(buf)])
+        for _ in range(10):
+            log.every(5, "batch", loss=0.1)
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2  # occurrences 0 and 5
+        assert json.loads(lines[1])["seq"] == 5
+
+    def test_global_default_is_sinkless(self):
+        assert not events_mod.get_event_log().enabled
+        events_mod.info("noop")  # must not raise
+
+
+class TestRunRecord:
+    def _record(self):
+        return RunRecord(
+            method="sdea", dataset="srprs/dbp_yg", timestamp=1e9,
+            config={"seed": 17, "attr_epochs": 2}, seed=17,
+            version=version_stamp(),
+            results={"H@1": 99.9},
+            timing={"fit_seconds": 1.5, "eval_seconds": 0.5,
+                    "total_seconds": 2.0},
+            metrics={"optim.steps": {"kind": "counter", "series": [
+                {"labels": {"optimizer": "adam"}, "value": 10}]}},
+            spans={"name": "root", "calls": 1, "wall_seconds": 2.0,
+                   "children": [{"name": "run", "calls": 1,
+                                 "wall_seconds": 2.0}]},
+        )
+
+    def test_write_load_round_trip(self, tmp_path):
+        record = self._record()
+        path = write_record(record, tmp_path)
+        assert path.parent == tmp_path
+        loaded = load_record(path)
+        assert loaded.method == record.method
+        assert loaded.config == record.config
+        assert loaded.spans == record.spans
+        assert loaded.timing == record.timing
+
+    def test_same_second_records_do_not_clobber(self, tmp_path):
+        record = self._record()
+        first = write_record(record, tmp_path)
+        second = write_record(record, tmp_path)
+        assert first != second
+        assert len(list_records(tmp_path)) == 2
+
+    def test_latest_record(self, tmp_path):
+        assert latest_record(tmp_path) is None
+        record = self._record()
+        write_record(record, tmp_path)
+        record.timestamp += 60
+        newest = write_record(record, tmp_path)
+        assert latest_record(tmp_path) == newest
+
+    def test_format_record_renders_all_sections(self):
+        text = format_record(self._record())
+        assert "sdea" in text
+        assert "fit_seconds=1.500s" in text
+        assert "optim.steps{optimizer=adam}" in text
+        assert "run" in text and "spans:" in text
+
+    def test_version_stamp_has_package_version(self):
+        import repro
+        stamp = version_stamp()
+        assert stamp["repro"] == repro.__version__
+        assert "python" in stamp
+
+
+class TestSession:
+    def test_session_installs_live_instances_and_restores(self):
+        assert not obs.is_active()
+        with obs.session(runs_dir=None) as sess:
+            assert obs.is_active()
+            assert obs.active_session() is sess
+            assert metrics_mod.get_registry() is sess.registry
+            assert tracing_mod.get_tracer() is sess.tracer
+            metrics_mod.counter("x").inc()
+            with tracing_mod.span("y"):
+                pass
+        assert not obs.is_active()
+        assert isinstance(metrics_mod.get_registry(), NullRegistry)
+        assert sess.registry.counter("x").value() == 1
+        assert "y" in sess.tracer.root.children
+
+    def test_sessions_nest(self):
+        with obs.session(runs_dir=None) as outer:
+            with obs.session(runs_dir=None) as inner:
+                assert obs.active_session() is inner
+            assert obs.active_session() is outer
+
+    def test_session_event_sinks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.session(runs_dir=None, events_jsonl=path):
+            events_mod.info("hello", k="v")
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["event"] == "hello"
+
+
+class TestInstrumentedPrimitives:
+    """Instrumented library functions publish metrics when a session is on."""
+
+    def test_gen_candidates_metrics(self):
+        from repro.core.candidates import gen_candidates
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(20, 8)), rng.normal(size=(30, 8))
+        with obs.session(runs_dir=None) as sess:
+            out = gen_candidates(a, b, k=5)
+        assert out.shape == (20, 5)
+        assert sess.registry.counter("candidates.generations").value() == 1
+        assert sess.registry.get("candidates.set_size") is not None
+        assert "candidates/gen" in sess.tracer.root.children
+
+    def test_optimizer_and_clip_metrics(self):
+        from repro.nn import Adam, clip_grad_norm
+        from repro.nn.module import Parameter
+        param = Parameter(np.ones(4))
+        param.grad = np.full(4, 10.0)
+        with obs.session(runs_dir=None) as sess:
+            clip_grad_norm([param], 1.0)
+            Adam([param], lr=0.1).step()
+        assert sess.registry.counter("optim.steps").value(
+            optimizer="adam") == 1
+        assert sess.registry.gauge("optim.grad_norm").value() == 20.0
+        assert sess.registry.counter("optim.grad_clips").value() == 1
+
+    def test_evaluate_embeddings_metrics(self):
+        from repro.align.evaluator import evaluate_embeddings
+        rng = np.random.default_rng(0)
+        emb = rng.normal(size=(10, 6))
+        links = [(i, i) for i in range(10)]
+        with obs.session(runs_dir=None) as sess:
+            evaluate_embeddings(emb, emb, links)
+        assert sess.registry.counter("eval.rankings").value() == 1
+        assert sess.registry.gauge("eval.hits_at_1").value() == 1.0
+        assert "evaluate/rank" in sess.tracer.root.children
