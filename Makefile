@@ -1,12 +1,19 @@
 # Convenience targets for the SDEA reproduction.
 
-.PHONY: install test bench report obs-demo clean
+.PHONY: install test lint check bench report obs-demo clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Repo-specific autograd-aware lint (see docs/static_analysis.md).
+lint:
+	PYTHONPATH=src python -m repro.cli lint src tests
+
+# The full gate: lint clean, then the test suite.
+check: lint test
 
 # Tiny instrumented run: prints the span report and writes a run record
 # under runs/ (inspect it with `python -m repro.cli obs`).

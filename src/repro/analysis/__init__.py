@@ -1,0 +1,46 @@
+"""repro.analysis — correctness tooling for the numpy autograd stack.
+
+Three parts (see ``docs/static_analysis.md``):
+
+* :mod:`repro.analysis.lint` — AST-based lint framework with
+  repo-specific rules (in-place ``Tensor.data`` mutation, unseeded
+  ``np.random``, ``super().__init__()`` ordering, ...), per-rule
+  severities, ``# repro: noqa[RULE]`` suppressions and text/JSON
+  reporters.  Exposed as ``repro lint``.
+* :mod:`repro.analysis.graphcheck` — dynamic checker that walks a built
+  autograd graph from a loss tensor and reports detached subgraphs,
+  parameters that receive no gradient, shape/dtype inconsistencies and
+  double-backward hazards.  Exposed as ``repro check-model``.
+* :mod:`repro.analysis.anomaly` — opt-in NaN/Inf sanitizer (à la
+  ``torch.autograd.set_detect_anomaly``) that records op provenance and
+  raises with the originating op's stack snippet.  Exposed as
+  ``repro run --detect-anomaly`` and ``SDEAConfig.detect_anomaly``.
+"""
+
+from .anomaly import AnomalyError, OpProvenance, detect_anomaly, is_anomaly_enabled
+from .graphcheck import (
+    GraphCaptureHarness,
+    GraphIssue,
+    GraphReport,
+    check_graph,
+    check_method,
+    walk_graph,
+)
+from .lint import (
+    LintReport,
+    Rule,
+    Violation,
+    all_rules,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Rule", "Violation", "LintReport",
+    "all_rules", "lint_source", "lint_paths", "format_text", "format_json",
+    "GraphIssue", "GraphReport", "GraphCaptureHarness",
+    "walk_graph", "check_graph", "check_method",
+    "AnomalyError", "OpProvenance", "detect_anomaly", "is_anomaly_enabled",
+]

@@ -1,0 +1,185 @@
+"""Opt-in NaN/Inf anomaly detection with op provenance.
+
+The numpy autograd engine happily propagates a NaN born deep inside a
+BiGRU backward pass all the way into the optimizer — the run "works",
+the metrics are garbage.  :class:`detect_anomaly` is the substitute for
+``torch.autograd.set_detect_anomaly(True)``: while active, every op
+created in :mod:`repro.nn.tensor` records *where it came from* (op name
+plus a snippet of the creating stack), every forward output and every
+backward gradient contribution is checked for NaN/Inf, and the first
+anomaly raises :class:`AnomalyError` naming the originating op::
+
+    with detect_anomaly():
+        loss = model(batch)
+        loss.backward()
+
+    # AnomalyError: NaN/Inf in gradient produced by backward of op 'log'
+    # op created at (most recent call last):
+    #   File "model.py", line 42, in forward
+    #     attn = scores.log()
+
+Wired into training via ``SDEAConfig.detect_anomaly`` and the CLI's
+``repro run --detect-anomaly``.  The mode costs one ``np.isfinite``
+sweep per op and is therefore opt-in.
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn import tensor as _tensor_module
+from ..nn.tensor import Tensor
+
+__all__ = ["AnomalyError", "OpProvenance", "detect_anomaly",
+           "is_anomaly_enabled"]
+
+#: Frames from these exact files are engine internals, not user code.
+#: (Exact paths, not suffixes — a user's `test_anomaly.py` must survive.)
+_INTERNAL_FILES = frozenset({_tensor_module.__file__, __file__})
+
+
+class AnomalyError(RuntimeError):
+    """Raised when a NaN/Inf value or gradient is detected.
+
+    Attributes
+    ----------
+    provenance:
+        The :class:`OpProvenance` of the originating op, when known.
+    phase:
+        ``"forward"`` or ``"backward"``.
+    """
+
+    def __init__(self, message: str,
+                 provenance: Optional["OpProvenance"] = None,
+                 phase: str = "forward"):
+        super().__init__(message)
+        self.provenance = provenance
+        self.phase = phase
+
+
+@dataclass(frozen=True)
+class OpProvenance:
+    """Where an op output was created: op name + creating-stack snippet."""
+
+    op: str
+    stack: str
+
+    def format(self) -> str:
+        if not self.stack:
+            return f"op '{self.op}' (creation stack unavailable)"
+        return (f"op '{self.op}' created at "
+                f"(most recent call last):\n{self.stack}")
+
+
+def _stack_snippet(limit: int = 4) -> str:
+    """The last ``limit`` non-engine frames, formatted like a traceback."""
+    frames = [
+        frame for frame in traceback.extract_stack()
+        if frame.filename not in _INTERNAL_FILES
+    ][-limit:]
+    return "".join(traceback.format_list(frames)).rstrip("\n")
+
+
+def _finite(array: np.ndarray) -> bool:
+    return array.dtype.kind not in "fc" or bool(np.all(np.isfinite(array)))
+
+
+def _describe(array: np.ndarray) -> str:
+    nan = int(np.isnan(array).sum())
+    inf = int(np.isinf(array).sum())
+    return f"{nan} NaN / {inf} Inf over shape {array.shape}"
+
+
+class _AnomalyState:
+    """Process-global patch state; reference-counted for nesting."""
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.original_make_child = None
+        self.original_dispatch = None
+
+
+_STATE = _AnomalyState()
+
+
+def is_anomaly_enabled() -> bool:
+    """True while at least one :class:`detect_anomaly` context is active."""
+    return _STATE.depth > 0
+
+
+def _wrapped_make_child(self, data, parents, backward):
+    """Op-creation hook: record provenance, reject non-finite outputs."""
+    out = _STATE.original_make_child(self, data, parents, backward)
+    op = sys._getframe(1).f_code.co_name
+    provenance = OpProvenance(op=op, stack=_stack_snippet())
+    out._ctx = provenance
+    if not _finite(out.data):
+        raise AnomalyError(
+            f"NaN/Inf in forward output of {provenance.format()}\n"
+            f"({_describe(out.data)})",
+            provenance=provenance, phase="forward",
+        )
+    return out
+
+
+def _wrapped_dispatch(self, grad, grads):
+    """Backward hook: reject non-finite gradient contributions.
+
+    Mirrors ``Tensor._backward_dispatch``'s routing so each parent
+    contribution can be checked *before* it is merged — the raising op
+    is then exactly the one whose backward produced the bad values.
+    """
+    provenance = self._ctx
+    if not _finite(np.asarray(grad)):
+        where = provenance.format() if provenance else "an untracked op"
+        raise AnomalyError(
+            f"NaN/Inf in incoming gradient of {where}\n"
+            f"({_describe(np.asarray(grad))})",
+            provenance=provenance, phase="backward",
+        )
+    contributions = self._backward(grad)
+    for index, (parent, contribution) in enumerate(
+            zip(self._parents, contributions)):
+        if contribution is None or not (
+            parent.requires_grad or parent._backward is not None
+        ):
+            continue
+        if not _finite(np.asarray(contribution)):
+            where = provenance.format() if provenance else "an untracked op"
+            raise AnomalyError(
+                f"NaN/Inf in gradient produced by backward of {where}\n"
+                f"(contribution to parent {index} of shape "
+                f"{parent.shape}: {_describe(np.asarray(contribution))})",
+                provenance=provenance, phase="backward",
+            )
+        key = id(parent)
+        if key in grads:
+            grads[key] = grads[key] + contribution
+        else:
+            grads[key] = contribution
+
+
+class detect_anomaly:
+    """Context manager enabling anomaly detection (reentrant)."""
+
+    def __enter__(self) -> "detect_anomaly":
+        if _STATE.depth == 0:
+            _STATE.original_make_child = Tensor._make_child
+            _STATE.original_dispatch = Tensor._backward_dispatch
+            Tensor._make_child = _wrapped_make_child
+            Tensor._backward_dispatch = _wrapped_dispatch
+        _STATE.depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _STATE.depth -= 1
+        if _STATE.depth == 0:
+            Tensor._make_child = _STATE.original_make_child
+            Tensor._backward_dispatch = _STATE.original_dispatch
+            _STATE.original_make_child = None
+            _STATE.original_dispatch = None

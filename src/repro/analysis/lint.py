@@ -1,0 +1,687 @@
+"""AST-based lint framework with autograd-aware, repo-specific rules.
+
+The hand-rolled autograd engine (:mod:`repro.nn`) fails *silently* when
+misused: an in-place numpy write to ``Tensor.data`` inside a ``forward``
+bypasses the recorded graph, an unseeded ``np.random`` call breaks
+reproducibility, a ``Parameter`` assigned before ``super().__init__()``
+never gets registered.  These are exactly the mistakes a type checker
+cannot see, so this module encodes them as lint rules.
+
+Framework
+---------
+Rules are small classes registered with :func:`rule`; each visits a
+parsed module and emits :class:`Violation` records.  Suppressions use an
+end-of-line marker comment::
+
+    param.data -= self.lr * grad  # repro: noqa[R001] optimizers update in place
+
+``# repro: noqa`` without a rule list suppresses every rule on the line.
+Reporters: :func:`format_text` (``path:line:col CODE message``) and
+:func:`format_json`.
+
+Rule catalogue (see ``docs/static_analysis.md`` for rationale):
+
+========  =======================  ========
+ID        name                     severity
+========  =======================  ========
+R001      inplace-data-mutation    error
+R002      bare-np-random           error
+R003      super-init-first         error
+R004      param-under-no-grad      error
+R005      float64-in-forward       warning
+R006      tensor-bool-context      error
+========  =======================  ========
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Violation", "Rule", "LintReport", "rule", "all_rules",
+    "lint_source", "lint_file", "lint_paths",
+    "format_text", "format_json",
+]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, anchored to a file position."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``, ``name``, ``severity`` and ``doc`` and
+    implement :meth:`check`, yielding ``(node, message)`` pairs.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    doc: str = ""
+
+    def check(self, tree: ast.Module) -> Iterable[Tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: register a rule under its ``id``."""
+    if not cls.id or cls.id in _RULES:
+        raise ValueError(f"rule id missing or duplicate: {cls.id!r}")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, ordered by id."""
+    return [_RULES[key] for key in sorted(_RULES)]
+
+
+# ---------------------------------------------------------------------- #
+# Shared AST helpers
+# ---------------------------------------------------------------------- #
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` → ``["a", "b", "c"]``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _numpy_aliases(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+    """Names bound to the numpy module and to ``numpy.random``."""
+    numpy_names: Set[str] = set()
+    random_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_names.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random" and alias.asname:
+                    random_names.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_names.add(alias.asname or "random")
+    return numpy_names, random_names
+
+
+def _functions_named(tree: ast.Module, name: str) -> List[ast.FunctionDef]:
+    return [node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == name]
+
+
+def _is_data_or_grad_attr(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr in ("data", "grad")
+
+
+# ---------------------------------------------------------------------- #
+# R001 — in-place mutation of Tensor.data / Tensor.grad
+# ---------------------------------------------------------------------- #
+@rule
+class InplaceDataMutation(Rule):
+    """Writes through ``.data``/``.grad`` bypass the autograd graph.
+
+    ``x.data[...] = v``, ``x.data -= g`` and ``x.grad *= s`` mutate the
+    raw numpy buffer without recording a backward function; gradients
+    computed afterwards are silently wrong.  Optimizers *do* update
+    parameters in place by design — those sites carry a justified
+    ``# repro: noqa[R001]``.
+    """
+
+    id = "R001"
+    name = "inplace-data-mutation"
+    severity = "error"
+    doc = ("in-place numpy mutation of Tensor.data/.grad bypasses "
+           "autograd; compute a new tensor instead (or noqa in "
+           "optimizer/serialisation code where it is the point)")
+
+    def check(self, tree: ast.Module):
+        for node in ast.walk(tree):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            for target in targets:
+                # x.data[...] = v  /  x.grad[i] += v
+                if isinstance(target, ast.Subscript) and \
+                        _is_data_or_grad_attr(target.value):
+                    yield (node, self._message(target.value))
+                # x.data -= g (augmented only; plain `x.grad = None` is
+                # the engine's own reset idiom and stays legal)
+                elif isinstance(node, ast.AugAssign) and \
+                        _is_data_or_grad_attr(target):
+                    yield (node, self._message(target))
+
+    @staticmethod
+    def _message(attr: ast.Attribute) -> str:
+        chain = _attr_chain(attr)
+        expr = ".".join(chain) if chain else f"<expr>.{attr.attr}"
+        return (f"in-place mutation of `{expr}` bypasses autograd; "
+                "build a new Tensor via recorded ops instead")
+
+
+# ---------------------------------------------------------------------- #
+# R002 — bare np.random outside seeded-RNG helpers
+# ---------------------------------------------------------------------- #
+#: Legacy global-state functions of numpy.random; any call is
+#: irreproducible (shared hidden state) and therefore flagged.
+_LEGACY_RANDOM = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "binomial", "poisson", "beta", "gamma", "exponential",
+    "laplace", "lognormal", "multinomial", "multivariate_normal",
+    "get_state", "set_state", "bytes", "random_integers",
+})
+
+
+@rule
+class BareNpRandom(Rule):
+    """Unseeded randomness destroys run-to-run reproducibility.
+
+    Flags legacy global-state calls (``np.random.rand`` and friends)
+    and ``np.random.default_rng()`` called *without* a seed.  Passing a
+    seed (``np.random.default_rng(config.seed)``) or threading an
+    explicit ``np.random.Generator`` is the sanctioned pattern.
+    """
+
+    id = "R002"
+    name = "bare-np-random"
+    severity = "error"
+    doc = ("bare np.random.* call (legacy global state or unseeded "
+           "default_rng()); thread a seeded np.random.Generator instead")
+
+    def check(self, tree: ast.Module):
+        numpy_names, random_names = _numpy_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if not chain:
+                continue
+            # Normalise to the path below `numpy.random`.
+            if len(chain) >= 3 and chain[0] in numpy_names \
+                    and chain[1] == "random":
+                tail = chain[2:]
+            elif len(chain) >= 2 and chain[0] in random_names:
+                tail = chain[1:]
+            else:
+                continue
+            if len(tail) != 1:
+                continue
+            fn = tail[0]
+            if fn in _LEGACY_RANDOM:
+                yield (node, f"legacy global-state call np.random.{fn}(); "
+                             "use a seeded np.random.default_rng(seed)")
+            elif fn == "default_rng" and not node.args and not node.keywords:
+                yield (node, "np.random.default_rng() without a seed is "
+                             "irreproducible; pass an explicit seed")
+
+
+# ---------------------------------------------------------------------- #
+# R003 — Module subclasses: super().__init__() before parameters
+# ---------------------------------------------------------------------- #
+def _is_super_init_call(node: ast.AST) -> bool:
+    """Matches ``super().__init__(...)`` (as an expression statement)."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__init__"
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super")
+
+
+def _is_parameter_call(node: ast.AST) -> bool:
+    """Matches ``Parameter(...)`` / ``nn.Parameter(...)`` calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _attr_chain(node.func)
+    return bool(chain) and chain[-1] == "Parameter"
+
+
+@rule
+class SuperInitFirst(Rule):
+    """Parameters assigned before ``super().__init__()`` vanish.
+
+    ``Module.__setattr__`` registers parameters into ``_parameters``,
+    which only exists after ``Module.__init__`` ran.  Assigning a
+    ``Parameter`` first either crashes or (with ``setdefault``
+    fallbacks) leaves the module half-registered; the optimizer then
+    never sees the weight and it silently never trains.
+    """
+
+    id = "R003"
+    name = "super-init-first"
+    severity = "error"
+    doc = ("Module subclass assigns a Parameter before (or without) "
+           "calling super().__init__()")
+
+    def check(self, tree: ast.Module):
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            init = next(
+                (item for item in cls.body
+                 if isinstance(item, ast.FunctionDef)
+                 and item.name == "__init__"),
+                None,
+            )
+            if init is None:
+                continue
+            super_line = None
+            for node in ast.walk(init):
+                if _is_super_init_call(node):
+                    super_line = node.lineno
+                    break
+            for node in ast.walk(init):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                if value is None or not _is_parameter_call(value):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                assigns_self = any(
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name) and t.value.id == "self"
+                    for t in targets
+                )
+                if not assigns_self:
+                    continue
+                if super_line is None:
+                    yield (node, f"class {cls.name} assigns a Parameter in "
+                                 "__init__ but never calls "
+                                 "super().__init__(); the parameter is "
+                                 "never registered")
+                elif node.lineno < super_line:
+                    yield (node, f"class {cls.name} assigns a Parameter "
+                                 "before super().__init__() "
+                                 f"(line {super_line}); registration "
+                                 "dicts do not exist yet")
+
+
+# ---------------------------------------------------------------------- #
+# R004 — Parameter created under no_grad
+# ---------------------------------------------------------------------- #
+@rule
+class ParamUnderNoGrad(Rule):
+    """A ``Parameter`` born inside ``no_grad`` still claims to train.
+
+    ``Parameter`` forces ``requires_grad=True``, but every op applied to
+    it inside the ``no_grad`` block records nothing — downstream code
+    sees a trainable leaf whose gradients never arrive.  Creating
+    trainable state inside an evaluation context is always a bug.
+    """
+
+    id = "R004"
+    name = "param-under-no-grad"
+    severity = "error"
+    doc = "Parameter(...) created inside a `with no_grad():` block"
+
+    def check(self, tree: ast.Module):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.With):
+                continue
+            if not any(self._is_no_grad(item.context_expr)
+                       for item in node.items):
+                continue
+            for inner in ast.walk(node):
+                if _is_parameter_call(inner):
+                    yield (inner, "Parameter created under no_grad(); it "
+                                  "will never receive gradients despite "
+                                  "requires_grad=True")
+
+    @staticmethod
+    def _is_no_grad(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        chain = _attr_chain(expr)
+        return bool(chain) and chain[-1] == "no_grad"
+
+
+# ---------------------------------------------------------------------- #
+# R005 — hard-coded float64 in forward hot paths
+# ---------------------------------------------------------------------- #
+@rule
+class Float64InForward(Rule):
+    """Hot-path dtype must stay centrally configurable.
+
+    ``forward`` runs per batch; a hard-coded ``np.float64`` cast there
+    both allocates a copy on every call and pins the hot path to one
+    dtype, defeating any future float32/mixed-precision backend.  Use
+    ``repro.nn.DEFAULT_DTYPE`` (or hoist the cast to ``__init__``).
+    """
+
+    id = "R005"
+    name = "float64-in-forward"
+    severity = "warning"
+    doc = ("hard-coded float64 literal inside a forward method; use "
+           "repro.nn.DEFAULT_DTYPE so the hot-path dtype stays "
+           "centrally configurable")
+
+    def check(self, tree: ast.Module):
+        for fn in _functions_named(tree, "forward"):
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Attribute) \
+                        and node.attr == "float64":
+                    yield (node, "np.float64 hard-coded in forward; use "
+                                 "repro.nn.DEFAULT_DTYPE")
+                elif isinstance(node, ast.Constant) \
+                        and node.value == "float64":
+                    yield (node, "'float64' dtype string hard-coded in "
+                                 "forward; use repro.nn.DEFAULT_DTYPE")
+
+
+# ---------------------------------------------------------------------- #
+# R006 — Tensor comparison / truthiness in bool context
+# ---------------------------------------------------------------------- #
+#: Tensor methods that return a Tensor — a chain ending in one of these
+#: applied to a tracked tensor stays tensor-valued.
+_TENSOR_METHODS = frozenset({
+    "sum", "mean", "max", "exp", "log", "sqrt", "tanh", "sigmoid", "relu",
+    "abs", "clip_min", "transpose", "swapaxes", "reshape", "matmul",
+    "take", "detach",
+})
+
+#: Constructors whose result is a Tensor.
+_TENSOR_CTORS = frozenset({"Tensor", "Parameter"})
+
+
+@rule
+class TensorBoolContext(Rule):
+    """Tensors don't collapse to a single truth value.
+
+    ``Tensor.__gt__`` and friends return *numpy arrays*; using them in
+    ``if``/``while``/``assert``/``bool()`` either raises numpy's
+    "ambiguous truth value" at runtime (multi-element) or silently
+    tests the wrong thing (single element: truthiness of the value, not
+    of the intended condition).  Compare ``.item()`` / reduce with
+    ``.any()``/``.all()`` instead.
+
+    Detection is intra-function: names assigned from ``Tensor(...)`` /
+    ``Parameter(...)``, from parameters annotated ``Tensor``, or from
+    tensor-method chains on tracked names are considered tensors.
+    """
+
+    id = "R006"
+    name = "tensor-bool-context"
+    severity = "error"
+    doc = ("Tensor (or Tensor comparison) used in a bool context; use "
+           ".item(), .any() or .all() to collapse it explicitly")
+
+    def check(self, tree: ast.Module):
+        for fn in ast.walk(tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(fn)
+
+    # -- per-function flow -------------------------------------------- #
+    def _check_function(self, fn: ast.FunctionDef):
+        tracked: Set[str] = set()
+        args = list(fn.args.posonlyargs) + list(fn.args.args) \
+            + list(fn.args.kwonlyargs)
+        for arg in args:
+            if arg.annotation is not None and \
+                    self._annotation_is_tensor(arg.annotation):
+                tracked.add(arg.arg)
+
+        # Single forward pass in source order: track assignments, then
+        # flag bool contexts that use a tracked expression.
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and \
+                    self._is_tensor_expr(node.value, tracked):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tracked.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name):
+                if (node.value is not None
+                        and self._is_tensor_expr(node.value, tracked)) \
+                        or self._annotation_is_tensor(node.annotation):
+                    tracked.add(node.target.id)
+
+        for node in ast.walk(fn):
+            for test in self._bool_contexts(node):
+                culprit = self._tensor_in_bool_expr(test, tracked)
+                if culprit is not None:
+                    yield (test, culprit)
+
+    @staticmethod
+    def _bool_contexts(node: ast.AST) -> List[ast.AST]:
+        if isinstance(node, (ast.If, ast.While)):
+            return [node.test]
+        if isinstance(node, ast.Assert):
+            return [node.test]
+        if isinstance(node, ast.IfExp):
+            return [node.test]
+        if isinstance(node, ast.BoolOp):
+            return list(node.values)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            return [node.operand]
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "bool" and len(node.args) == 1:
+            return [node.args[0]]
+        return []
+
+    def _tensor_in_bool_expr(self, expr: ast.AST,
+                             tracked: Set[str]) -> Optional[str]:
+        """Message if ``expr`` is tensor-valued or a tensor comparison."""
+        if isinstance(expr, ast.Compare):
+            # Identity/membership tests (`is`, `in`) return plain bools;
+            # only value comparisons dispatch to Tensor.__gt__ & co.
+            if all(isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn))
+                   for op in expr.ops):
+                return None
+            operands = [expr.left] + list(expr.comparators)
+            for operand in operands:
+                if self._is_tensor_expr(operand, tracked):
+                    return ("comparison involving a Tensor returns a numpy "
+                            "array; its truth value is ambiguous — compare "
+                            ".item() or reduce with .any()/.all()")
+            return None
+        if self._is_tensor_expr(expr, tracked):
+            return ("Tensor used directly in a bool context; use .item(), "
+                    ".any() or .all()")
+        return None
+
+    def _is_tensor_expr(self, expr: ast.AST, tracked: Set[str]) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in tracked
+        if isinstance(expr, ast.Call):
+            chain = _attr_chain(expr.func)
+            if chain and chain[-1] in _TENSOR_CTORS:
+                return True
+            # tracked.method(...) chains that stay tensor-valued
+            if isinstance(expr.func, ast.Attribute) \
+                    and expr.func.attr in _TENSOR_METHODS:
+                return self._is_tensor_expr(expr.func.value, tracked)
+            return False
+        if isinstance(expr, ast.BinOp):
+            return self._is_tensor_expr(expr.left, tracked) \
+                or self._is_tensor_expr(expr.right, tracked)
+        if isinstance(expr, ast.UnaryOp):
+            return self._is_tensor_expr(expr.operand, tracked)
+        return False
+
+    @staticmethod
+    def _annotation_is_tensor(annotation: ast.AST) -> bool:
+        if isinstance(annotation, ast.Name):
+            return annotation.id in _TENSOR_CTORS
+        if isinstance(annotation, ast.Constant) \
+                and isinstance(annotation.value, str):
+            return annotation.value in _TENSOR_CTORS
+        if isinstance(annotation, ast.Attribute):
+            return annotation.attr in _TENSOR_CTORS
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# Running rules over sources
+# ---------------------------------------------------------------------- #
+def _noqa_map(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Line → suppressed rule ids (``None`` means every rule)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group(1)
+        if codes is None or not codes.strip():
+            out[lineno] = None
+        else:
+            out[lineno] = {code.strip().upper()
+                           for code in codes.split(",") if code.strip()}
+    return out
+
+
+def _suppressed(noqa: Dict[int, Optional[Set[str]]], node: ast.AST,
+                rule_id: str) -> bool:
+    lines = {getattr(node, "lineno", 0)}
+    end = getattr(node, "end_lineno", None)
+    if end is not None:
+        lines.add(end)
+    for lineno in lines:
+        codes = noqa.get(lineno, ...)
+        if codes is None or (codes is not ... and rule_id in codes):
+            return True
+    return False
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint one source string; returns violations sorted by position."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(rule="E999", severity="error", path=path,
+                          line=exc.lineno or 1, col=exc.offset or 0,
+                          message=f"syntax error: {exc.msg}")]
+    noqa = _noqa_map(source)
+    wanted = {code.upper() for code in select} if select else None
+    violations: List[Violation] = []
+    for rule_cls in all_rules():
+        if wanted is not None and rule_cls.id not in wanted:
+            continue
+        checker = rule_cls()
+        for node, message in checker.check(tree):
+            if _suppressed(noqa, node, rule_cls.id):
+                continue
+            violations.append(Violation(
+                rule=rule_cls.id, severity=rule_cls.severity, path=path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            ))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def lint_file(path: Path,
+              select: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint one ``.py`` file."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), select=select)
+
+
+def _iter_python_files(paths: Sequence) -> List[Path]:
+    files: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(
+                p for p in entry.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            ))
+        elif entry.suffix == ".py":
+            files.append(entry)
+    return files
+
+
+@dataclass
+class LintReport:
+    """Violations plus run metadata, as produced by :func:`lint_paths`."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.rule] = out.get(violation.rule, 0) + 1
+        return out
+
+
+def lint_paths(paths: Sequence,
+               select: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint files and directories (recursively); the CLI entry point."""
+    report = LintReport()
+    for file_path in _iter_python_files(paths):
+        report.violations.extend(lint_file(file_path, select=select))
+        report.files_checked += 1
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# Reporters
+# ---------------------------------------------------------------------- #
+def format_text(report: LintReport) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [violation.format() for violation in report.violations]
+    counts = report.counts()
+    if counts:
+        summary = ", ".join(f"{rule}×{n}" for rule, n in sorted(counts.items()))
+        lines.append(f"{len(report.violations)} violation(s) "
+                     f"in {report.files_checked} file(s): {summary}")
+    else:
+        lines.append(f"0 violations in {report.files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "files_checked": report.files_checked,
+        "counts": report.counts(),
+        "violations": [
+            {"rule": v.rule, "severity": v.severity, "path": v.path,
+             "line": v.line, "col": v.col, "message": v.message}
+            for v in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -8,12 +8,16 @@ Usage (installed as the ``repro`` console script)::
     repro obs                           # inspect the latest run record
     repro table    --table 3            # regenerate a paper table
     repro export   --dataset srprs/en_fr --out ./data/en_fr
+    repro lint     src tests            # autograd-aware static analysis
+    repro check-model --method sdea     # dynamic autograd-graph check
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import List, Optional
 
@@ -68,7 +72,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"dataset: {args.dataset}  "
           f"(train/valid/test = {len(split.train)}/{len(split.valid)}/"
           f"{len(split.test)})")
-    with obs.session(runs_dir=args.runs_dir) as sess:
+    if args.detect_anomaly:
+        from .analysis import detect_anomaly
+        anomaly_ctx = detect_anomaly()
+    else:
+        anomaly_ctx = nullcontext()
+    with obs.session(runs_dir=args.runs_dir) as sess, anomaly_ctx:
         result = run_experiment(args.method, pair, split,
                                 with_stable_matching=args.stable)
         if args.trace:
@@ -152,6 +161,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import format_json, format_text, lint_paths
+    from .obs import metrics
+
+    start = time.perf_counter()
+    report = lint_paths(args.paths, select=args.select)
+    seconds = time.perf_counter() - start
+    # Lands in the run-record metrics snapshot when an obs session is
+    # active (no-op otherwise) — `repro obs` then shows lint runtime.
+    metrics.histogram("analysis.lint_seconds").observe(seconds)
+    metrics.counter("analysis.lint_violations").inc(
+        len(report.violations))
+    output = format_json(report) if args.format == "json" \
+        else format_text(report)
+    print(output)
+    if args.format == "text":
+        print(f"(linted {report.files_checked} files "
+              f"in {seconds * 1000:.0f} ms)")
+    return 1 if report.violations else 0
+
+
+def _cmd_check_model(args: argparse.Namespace) -> int:
+    from .analysis import check_method
+    from .experiments import available_methods
+
+    methods = available_methods() if args.all else [args.method]
+    if not args.all and args.method is None:
+        print("check-model needs --method <name> or --all", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in methods:
+        try:
+            reports = check_method(name, max_captures=args.max_captures)
+        except Exception as exc:
+            print(f"== {name} ==\n  fit crashed: "
+                  f"{type(exc).__name__}: {exc}")
+            failures += 1
+            continue
+        print(f"== {name} ==")
+        if not reports:
+            print("  no autograd backward observed during fit "
+                  "(non-gradient method) — nothing to check")
+            continue
+        for report in reports:
+            print("  " + report.format().replace("\n", "\n  "))
+            if not report.ok:
+                failures += 1
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -175,6 +234,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also report stable-matching Hits@1")
     run.add_argument("--trace", action="store_true",
                      help="print the hierarchical span-timing tree")
+    run.add_argument("--detect-anomaly", action="store_true",
+                     help="raise with op provenance on the first NaN/Inf "
+                          "in a forward value or backward gradient")
     run.add_argument("--runs-dir", default=obs.DEFAULT_RUNS_DIR,
                      help="directory for structured run records")
     run.set_defaults(func=_cmd_run)
@@ -214,6 +276,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results", default="benchmarks/results")
     report.add_argument("--out", default="EXPERIMENTS.md")
     report.set_defaults(func=_cmd_report)
+
+    lint = sub.add_parser(
+        "lint", help="autograd-aware static analysis (see "
+                     "docs/static_analysis.md)"
+    )
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to lint recursively")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", nargs="*", default=None,
+                      help="restrict to specific rule ids (e.g. R001 R002)")
+    lint.set_defaults(func=_cmd_lint)
+
+    check_model = sub.add_parser(
+        "check-model",
+        help="train a method on a tiny synthetic pair and graph-check "
+             "every training phase's autograd graph",
+    )
+    check_model.add_argument("--method", default=None)
+    check_model.add_argument("--all", action="store_true",
+                             help="check every registered method")
+    check_model.add_argument("--max-captures", type=int, default=8,
+                             help="max distinct loss graphs to check")
+    check_model.set_defaults(func=_cmd_check_model)
     return parser
 
 

@@ -148,7 +148,9 @@ def prepare_text_encoder(texts1: Sequence[str], texts2: Sequence[str],
     stats = corpus_stats(all_ids, all_mask, tokenizer.vocab_size,
                          bert_config.dim)
     # Pre-trained prior: LSA vectors as initial token embeddings.
-    mlm.bert.token_embedding.weight.data[...] = stats.token_vectors
+    # repro: noqa[R001] below — init-time weight seeding before any
+    # graph exists, equivalent to torch's `with no_grad(): weight.copy_()`.
+    mlm.bert.token_embedding.weight.data[...] = stats.token_vectors  # repro: noqa[R001]
 
     mlm_losses: List[float] = []
     if config.mlm_epochs > 0:

@@ -55,6 +55,12 @@ class SDEAConfig:
         the numeric values separately" direction): appends a weighted
         random-Fourier embedding of each entity's numeric values to the
         final embedding.
+    detect_anomaly:
+        Run both training phases under the
+        :mod:`repro.analysis.anomaly` sanitizer: every op records its
+        provenance and the first NaN/Inf in a forward value or backward
+        gradient raises with the originating op's stack snippet
+        (substitute for ``torch.autograd.set_detect_anomaly``).
     seed:
         Master seed for all RNGs.
     """
@@ -86,6 +92,7 @@ class SDEAConfig:
     numeric_channel: bool = False
     numeric_dim: int = 32
     numeric_weight: float = 0.3
+    detect_anomaly: bool = False
     seed: int = 17
 
     def bert_config(self, vocab_size: int) -> BertConfig:

@@ -15,12 +15,14 @@ model consumes much GPU memory"):
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..align.evaluator import evaluate_embeddings
+from ..analysis.anomaly import detect_anomaly
 from ..kg.pair import Link
 from ..nn import Adam, BestCheckpoint, Tensor, clip_grad_norm, no_grad
 from ..obs import events, metrics, trace
@@ -77,6 +79,11 @@ def _batched(indices: np.ndarray, batch_size: int):
         yield indices[start:start + batch_size]
 
 
+def _anomaly_context(config: SDEAConfig):
+    """The NaN/Inf sanitizer when ``config.detect_anomaly``, else a no-op."""
+    return detect_anomaly() if config.detect_anomaly else nullcontext()
+
+
 def pretrain_attribute_module(
     module: AttributeEmbeddingModule,
     encoder1: SequenceEncoder,
@@ -101,7 +108,8 @@ def pretrain_attribute_module(
 
     for epoch in range(config.attr_epochs):
         epoch_start = time.perf_counter()
-        with trace.span("attr_pretrain/epoch", epoch=epoch):
+        with trace.span("attr_pretrain/epoch", epoch=epoch), \
+                _anomaly_context(config):
             # Lines 2–4: refresh embeddings and candidate sets.
             with trace.span("encode"):
                 h1 = encode_all(module, encoder1)
@@ -251,7 +259,8 @@ def train_relation_model(
     bad_rounds = 0
     for epoch in range(config.rel_epochs):
         epoch_start = time.perf_counter()
-        with trace.span("rel_train/epoch", epoch=epoch):
+        with trace.span("rel_train/epoch", epoch=epoch), \
+                _anomaly_context(config):
             negatives = sample_negatives(candidates, sources, positives, rng)
             relation_module.train()
             joint.train()

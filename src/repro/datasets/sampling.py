@@ -66,10 +66,15 @@ def induced_subpair(pair: KGPair, keep_links: Sequence[Link],
 def downsample_pair(pair: KGPair, fraction: float,
                     rng: np.random.Generator | None = None,
                     name: str | None = None) -> KGPair:
-    """Keep a uniform random fraction of the linked entities."""
+    """Keep a uniform random fraction of the linked entities.
+
+    Without an explicit ``rng`` a fixed-seed generator is used, so
+    repeated calls produce the same subsample (reproducibility over
+    surprise; pass your own generator for varied draws).
+    """
     if not 0.0 < fraction <= 1.0:
         raise ValueError("fraction must lie in (0, 1]")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     count = max(1, int(round(fraction * len(pair.links))))
     chosen = rng.choice(len(pair.links), size=count, replace=False)
     keep_links = [pair.links[i] for i in sorted(chosen)]
@@ -90,7 +95,7 @@ def degree_preserving_sample(pair: KGPair, target_links: int,
     """
     if target_links < 1:
         raise ValueError("target_links must be >= 1")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     links: List[Link] = list(pair.links)
     if target_links >= len(links):
         return induced_subpair(pair, links, name=name)

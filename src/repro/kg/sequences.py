@@ -21,12 +21,14 @@ def attribute_order(graph: KnowledgeGraph,
                     rng: Optional[np.random.Generator] = None) -> List[int]:
     """Generate the fixed order ``O(A)`` over a KG's attribute ids.
 
-    A seeded generator makes the order reproducible; without one, the order
-    is a random permutation as in the paper (line 1 of Algorithm 1).
+    The paper only requires the order to be random-but-fixed per KG
+    (line 1 of Algorithm 1); which permutation is irrelevant.  Without
+    an explicit generator we therefore use a fixed seed so the order —
+    and every embedding downstream of it — is reproducible run to run.
     """
     ids = np.arange(graph.num_attributes)
     if rng is None:
-        rng = np.random.default_rng()
+        rng = np.random.default_rng(0)
     return list(rng.permutation(ids))
 
 

@@ -13,12 +13,22 @@ from .module import Module, ModuleList, Parameter
 from .optim import Adam, LinearWarmupSchedule, SGD, clip_grad_norm
 from .rnn import BiGRU, GRU, GRUCell
 from .serialization import BestCheckpoint, load_state, save_state
-from .tensor import Tensor, concatenate, no_grad, ones, stack, where, zeros
+from .tensor import (
+    DEFAULT_DTYPE,
+    Tensor,
+    concatenate,
+    no_grad,
+    ones,
+    stack,
+    where,
+    zeros,
+)
 from .transformer import TransformerEncoder, TransformerEncoderLayer
 
 __all__ = [
     "functional",
     "Tensor", "no_grad", "concatenate", "stack", "where", "zeros", "ones",
+    "DEFAULT_DTYPE",
     "Module", "ModuleList", "Parameter",
     "Linear", "Embedding", "LayerNorm", "Dropout", "MLP",
     "MultiHeadSelfAttention", "GlobalAttentionPooling",

@@ -35,10 +35,21 @@ class Module:
         self.training: bool = True
 
     def __setattr__(self, name: str, value) -> None:
+        parameters = self.__dict__.setdefault("_parameters", {})
+        modules = self.__dict__.setdefault("_modules", {})
         if isinstance(value, Parameter):
-            self.__dict__.setdefault("_parameters", {})[name] = value
+            parameters[name] = value
+            modules.pop(name, None)
         elif isinstance(value, Module):
-            self.__dict__.setdefault("_modules", {})[name] = value
+            modules[name] = value
+            parameters.pop(name, None)
+        else:
+            # Re-assigning an attribute to a plain value must evict any
+            # stale Parameter/Module registered under the same name —
+            # otherwise optimisers and state dicts keep training and
+            # serialising an object the module no longer uses.
+            parameters.pop(name, None)
+            modules.pop(name, None)
         object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------------ #
@@ -108,7 +119,7 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"expected {param.shape}, got {value.shape}"
                 )
-            param.data[...] = value
+            param.data[...] = value  # repro: noqa[R001] state-dict restore writes in place so optimizer slots stay valid
 
     # ------------------------------------------------------------------ #
     # Call protocol

@@ -54,7 +54,7 @@ class SGD(Optimizer):
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            param.data -= self.lr * grad
+            param.data -= self.lr * grad  # repro: noqa[R001] optimizers update params in place by design
 
 
 class Adam(Optimizer):
@@ -90,7 +90,7 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad**2
             m_hat = m / bias1
             v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)  # repro: noqa[R001] optimizers update params in place by design
 
 
 class LinearWarmupSchedule:
@@ -147,5 +147,5 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
         metrics.counter("optim.grad_clips").inc()
         scale = max_norm / total
         for param in params:
-            param.grad *= scale
+            param.grad *= scale  # repro: noqa[R001] clipping rescales grads in place by design
     return total

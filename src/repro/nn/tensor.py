@@ -20,6 +20,11 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+#: Canonical floating dtype of the engine.  Hot-path code must reference
+#: this constant instead of hard-coding ``np.float64`` (lint rule R005),
+#: so a future float32/mixed-precision backend is a one-line switch.
+DEFAULT_DTYPE = np.float64
+
 _grad_enabled = True
 
 
@@ -80,7 +85,10 @@ class Tensor:
         tensor during :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    # _ctx holds op provenance (an OpProvenance record) while anomaly
+    # detection (repro.analysis.anomaly) is active; None otherwise.
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_ctx")
     __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
@@ -88,12 +96,13 @@ class Tensor:
             data = data.data
         arr = np.asarray(data)
         if arr.dtype.kind in "fc":
-            arr = arr.astype(np.float64, copy=False)
+            arr = arr.astype(DEFAULT_DTYPE, copy=False)
         self.data: np.ndarray = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
+        self._ctx = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -156,9 +165,9 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=DEFAULT_DTYPE, copy=True)
         else:
-            self.grad += grad
+            self.grad += grad  # repro: noqa[R001] engine leaf accumulation
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Back-propagate from this tensor through the recorded graph.

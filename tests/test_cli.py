@@ -75,6 +75,71 @@ class TestCommands:
         assert code in (0, 1)
         assert out.strip()
 
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_lint_dirty_file_exits_nonzero_with_rule_ids(self, tmp_path,
+                                                         capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    x.data[0] = np.random.rand()\n"
+        )
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "R002" in out
+        assert f"{dirty}:3:" in out  # file:line anchors
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        import json
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert main(["lint", str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"R002": 1}
+
+    def test_lint_select_restricts_rules(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    x.data[0] = np.random.rand()\n"
+        )
+        assert main(["lint", str(dirty), "--select", "R001"]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "R002" not in out
+
+    def test_lint_records_runtime_metric(self, tmp_path):
+        from repro.obs import Registry, use_registry
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        registry = Registry()
+        with use_registry(registry):
+            main(["lint", str(clean)])
+        snapshot = registry.snapshot()
+        assert any("lint_seconds" in name for name in snapshot)
+
+    def test_check_model_single_method(self, capsys):
+        assert main(["check-model", "--method", "mtranse"]) == 0
+        out = capsys.readouterr().out
+        assert "mtranse" in out
+        assert "parameters reachable" in out
+
+    def test_check_model_unknown_method_fails(self, capsys):
+        assert main(["check-model", "--method", "not-a-method"]) == 1
+        assert "unknown method" in capsys.readouterr().out
+
+    def test_run_with_detect_anomaly(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert main(["run", "--dataset", "srprs/dbp_wd",
+                     "--method", "jape-stru", "--detect-anomaly",
+                     "--runs-dir", str(runs_dir)]) == 0
+        assert "H@1" in capsys.readouterr().out
+
     def test_report_command(self, tmp_path, capsys):
         results = tmp_path / "results"
         results.mkdir()

@@ -197,7 +197,7 @@ class TestAggregatorVariants:
         module = RelationEmbeddingModule(8, 6, rng, aggregator="mean")
         x, mask, lengths = self._inputs(rng)
         variant = Tensor(x.data.copy())
-        variant.data[0, 2:] = 99.0  # padded slots of row 0
+        variant.data[0, 2:] = 99.0  # padded slots of row 0  # repro: noqa[R001] pre-forward fixture setup
         out1 = module(x, mask, lengths).data
         out2 = module(variant, mask, lengths).data
         np.testing.assert_allclose(out1[0], out2[0], atol=1e-12)
@@ -206,7 +206,7 @@ class TestAggregatorVariants:
         module = RelationEmbeddingModule(8, 6, rng, aggregator="max")
         x, mask, lengths = self._inputs(rng)
         variant = Tensor(x.data.copy())
-        variant.data[0, 2:] = 99.0
+        variant.data[0, 2:] = 99.0  # repro: noqa[R001] pre-forward fixture setup
         out1 = module(x, mask, lengths).data
         out2 = module(variant, mask, lengths).data
         np.testing.assert_allclose(out1[0], out2[0], atol=1e-12)

@@ -70,8 +70,8 @@ class TestLayerNorm:
 
     def test_gamma_beta_applied(self, rng):
         layer = LayerNorm(4)
-        layer.gamma.data[...] = 2.0
-        layer.beta.data[...] = 1.0
+        layer.gamma.data[...] = 2.0  # repro: noqa[R001] pre-forward weight forcing
+        layer.beta.data[...] = 1.0  # repro: noqa[R001] pre-forward weight forcing
         x = Tensor(rng.normal(size=(3, 4)))
         out = layer(x).data
         np.testing.assert_allclose(out.mean(axis=-1), np.ones(3), atol=1e-9)

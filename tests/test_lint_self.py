@@ -1,0 +1,37 @@
+"""Self-gate: the shipped tree must lint clean.
+
+Every in-place ``.data`` write, unseeded RNG or tensor-truthiness that
+survives in ``src/`` or ``tests/`` must carry a justified
+``# repro: noqa[Rxxx]`` — otherwise this test fails and names it.
+"""
+
+from pathlib import Path
+
+from repro.analysis import format_text, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_src_has_zero_violations():
+    report = lint_paths([REPO_ROOT / "src"])
+    assert report.files_checked > 50, "src/ tree not found or nearly empty"
+    assert report.ok, "\n" + format_text(report)
+
+
+def test_tests_have_zero_violations():
+    report = lint_paths([REPO_ROOT / "tests"])
+    assert report.files_checked > 20, "tests/ tree not found or nearly empty"
+    assert report.ok, "\n" + format_text(report)
+
+
+def test_known_bad_fixture_still_caught(tmp_path):
+    """Guard against the gate passing because rules stopped firing."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import numpy as np\n"
+        "def forward(x):\n"
+        "    x.data[0] = np.random.rand()\n"
+        "    return x.astype(np.float64)\n"
+    )
+    report = lint_paths([bad])
+    assert set(report.counts()) == {"R001", "R002", "R005"}

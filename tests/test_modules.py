@@ -52,6 +52,50 @@ class TestRegistration:
         assert kinds == ["Outer", "Inner", "Linear"]
 
 
+class TestReassignmentEviction:
+    """Regression: reassigning an attribute must evict the stale entry.
+
+    ``Module.__setattr__`` used to leave the old Parameter/Module in the
+    registration dicts when the name was rebound to a plain value — the
+    optimizer kept training a weight the module no longer used, and
+    ``state_dict`` kept serialising it.
+    """
+
+    def test_parameter_replaced_by_plain_value(self, rng):
+        model = Inner(rng)
+        assert "scale" in dict(model.named_parameters())
+        model.scale = 2.0  # demote to a plain attribute
+        assert "scale" not in dict(model.named_parameters())
+        assert "scale" not in model.state_dict()
+        assert model.scale == 2.0
+
+    def test_module_replaced_by_plain_value(self, rng):
+        model = Outer(rng)
+        model.inner = None
+        assert [type(m).__name__ for m in model.modules()] == ["Outer"]
+        assert set(model.state_dict()) == {"bias"}
+
+    def test_parameter_replaced_by_module(self, rng):
+        model = Inner(rng)
+        model.scale = Linear(3, 3, rng)
+        names = set(dict(model.named_parameters()))
+        assert "scale" not in names
+        assert {"scale.weight", "scale.bias"} <= names
+
+    def test_module_replaced_by_parameter(self, rng):
+        model = Inner(rng)
+        model.linear = Parameter(np.ones(3))
+        assert set(dict(model.named_parameters())) == {"linear", "scale"}
+        assert list(model.modules()) == [model]
+
+    def test_reassigned_parameter_replaces_not_duplicates(self, rng):
+        model = Inner(rng)
+        new_scale = Parameter(np.full(3, 5.0))
+        model.scale = new_scale
+        params = dict(model.named_parameters())
+        assert params["scale"] is new_scale
+
+
 class TestModes:
     def test_train_eval_propagate(self, rng):
         model = Outer(rng)

@@ -33,9 +33,9 @@ class TestGRUCell:
     def test_zero_update_gate_keeps_state(self, rng):
         cell = GRUCell(2, 3, rng)
         # Force z ≈ 0 by a large negative bias: h_t ≈ h_{t-1}.
-        cell.b_z.data[...] = -100.0
-        cell.w_z.data[...] = 0.0
-        cell.u_z.data[...] = 0.0
+        cell.b_z.data[...] = -100.0  # repro: noqa[R001] pre-forward weight forcing
+        cell.w_z.data[...] = 0.0  # repro: noqa[R001] pre-forward weight forcing
+        cell.u_z.data[...] = 0.0  # repro: noqa[R001] pre-forward weight forcing
         h_prev = np.array([[1.0, -1.0, 0.5]])
         out = cell(Tensor(np.ones((1, 2))), Tensor(h_prev))
         np.testing.assert_allclose(out.data, h_prev, atol=1e-9)

@@ -29,7 +29,7 @@ class TestBestCheckpoint:
         keeper = BestCheckpoint(model)
         assert keeper.update(0.5)
         best_weights = model.weight.data.copy()
-        model.weight.data[...] = 999.0
+        model.weight.data[...] = 999.0  # repro: noqa[R001] clobber weights to prove restore works
         assert not keeper.update(0.3)  # worse score: snapshot unchanged
         keeper.restore()
         np.testing.assert_array_equal(model.weight.data, best_weights)
