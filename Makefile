@@ -1,19 +1,24 @@
 # Convenience targets for the SDEA reproduction.
 
-.PHONY: install test lint check bench report obs-demo clean
+.PHONY: install test lint shapecheck check bench report obs-demo clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src pytest tests/
 
 # Repo-specific autograd-aware lint (see docs/static_analysis.md).
 lint:
 	PYTHONPATH=src python -m repro.cli lint src tests
 
-# The full gate: lint clean, then the test suite.
-check: lint test
+# Symbolic whole-model shape check: every registered method executed
+# abstractly over named dims, zero real FLOPs (docs/static_analysis.md).
+shapecheck:
+	PYTHONPATH=src python -m repro.cli shape-check
+
+# The full gate: lint clean, shapes clean, then the test suite.
+check: lint shapecheck test
 
 # Tiny instrumented run: prints the span report and writes a run record
 # under runs/ (inspect it with `python -m repro.cli obs`).

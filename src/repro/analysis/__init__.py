@@ -15,6 +15,14 @@ Three parts (see ``docs/static_analysis.md``):
   ``torch.autograd.set_detect_anomaly``) that records op provenance and
   raises with the originating op's stack snippet.  Exposed as
   ``repro run --detect-anomaly`` and ``SDEAConfig.detect_anomaly``.
+* :mod:`repro.analysis.shapes` — symbolic shape/dtype abstract
+  interpreter: :class:`AbstractTensor` executes any ``Module.forward``
+  with zero real FLOPs over named symbolic dims, catching shape
+  mismatches, silent size-1 broadcasts, dtype drift and grad-flag
+  drops statically.  Exposed as ``repro shape-check``.  (The
+  whole-model interpreter lives in
+  :mod:`repro.analysis.shapes.interpreter` and is imported lazily —
+  it depends on ``repro.core``/``repro.baselines``.)
 """
 
 from .anomaly import AnomalyError, OpProvenance, detect_anomaly, is_anomaly_enabled
@@ -36,6 +44,20 @@ from .lint import (
     lint_paths,
     lint_source,
 )
+from .shapes import (
+    AbstractShapeError,
+    AbstractTensor,
+    ConstraintError,
+    Dim,
+    DimExpr,
+    ShapeEnv,
+    ShapeSpec,
+    SymbolicTrace,
+    enforce_constraints,
+    lift_tensor,
+    shape_spec,
+    verify_module_calls,
+)
 
 __all__ = [
     "Rule", "Violation", "LintReport",
@@ -43,4 +65,7 @@ __all__ = [
     "GraphIssue", "GraphReport", "GraphCaptureHarness",
     "walk_graph", "check_graph", "check_method",
     "AnomalyError", "OpProvenance", "detect_anomaly", "is_anomaly_enabled",
+    "Dim", "DimExpr", "ShapeEnv", "ConstraintError", "enforce_constraints",
+    "AbstractTensor", "AbstractShapeError", "SymbolicTrace", "lift_tensor",
+    "ShapeSpec", "shape_spec", "verify_module_calls",
 ]

@@ -30,6 +30,9 @@ R003      super-init-first         error
 R004      param-under-no-grad      error
 R005      float64-in-forward       warning
 R006      tensor-bool-context      error
+R007      tensor-ctor-in-loop      warning
+R008      numpy-round-trip         error
+R009      single-element-concat    warning
 ========  =======================  ========
 """
 
@@ -546,6 +549,133 @@ class TensorBoolContext(Rule):
 
 
 # ---------------------------------------------------------------------- #
+# R007 — Tensor construction inside a per-item loop in forward
+# ---------------------------------------------------------------------- #
+@rule
+class TensorCtorInLoop(Rule):
+    """Constructing tensors item-by-item in a hot loop is quadratic pain.
+
+    ``Tensor(...)`` / ``Parameter(...)`` inside a ``for``/``while`` body
+    of a ``forward`` method allocates (and, for ``Parameter``, registers
+    trainable state!) once per iteration per call.  Build the full array
+    first and wrap it once outside the loop — the GRU wraps its initial
+    hidden state *before* its timestep loop for exactly this reason.
+    """
+
+    id = "R007"
+    name = "tensor-ctor-in-loop"
+    severity = "warning"
+    doc = ("Tensor/Parameter constructed inside a loop in a forward "
+           "method; hoist the wrap out of the loop and build the array "
+           "in one shot")
+
+    def check(self, tree: ast.Module):
+        for fn in _functions_named(tree, "forward"):
+            for loop in ast.walk(fn):
+                if not isinstance(loop, (ast.For, ast.While)):
+                    continue
+                for node in ast.walk(loop):
+                    if node is loop:
+                        continue
+                    # Nested loops are visited in their own right.
+                    if isinstance(node, ast.Call):
+                        chain = _attr_chain(node.func)
+                        if chain and chain[-1] in _TENSOR_CTORS:
+                            yield (node, f"{chain[-1]}(...) constructed "
+                                         "inside a loop in forward; hoist "
+                                         "the construction out of the loop")
+
+
+# ---------------------------------------------------------------------- #
+# R008 — numpy round-trip re-wrapped into a Tensor in forward
+# ---------------------------------------------------------------------- #
+@rule
+class NumpyRoundTrip(Rule):
+    """``Tensor(x.data ...)`` silently detaches the autograd graph.
+
+    Reading ``.data`` (or calling ``.numpy()``) drops the recorded
+    parents; wrapping the result back into a ``Tensor`` inside a
+    ``forward`` produces a leaf that *looks* like a differentiable
+    intermediate but receives no gradient.  If detaching is intended,
+    call ``.detach()`` so the intent is explicit (and greppable).
+    """
+
+    id = "R008"
+    name = "numpy-round-trip"
+    severity = "error"
+    doc = ("Tensor(...) wrapping a .data/.numpy() round-trip inside a "
+           "forward method silently detaches the graph; use recorded "
+           "ops, or .detach() if cutting the graph is intended")
+
+    def check(self, tree: ast.Module):
+        for fn in _functions_named(tree, "forward"):
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = _attr_chain(node.func)
+                if not chain or chain[-1] not in _TENSOR_CTORS:
+                    continue
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    culprit = self._round_trip(arg)
+                    if culprit:
+                        yield (node, f"{chain[-1]}(...) wraps `{culprit}` "
+                                     "in forward; the autograd graph is "
+                                     "silently detached at this point")
+                        break
+
+    @staticmethod
+    def _round_trip(expr: ast.AST) -> Optional[str]:
+        """Dotted source of the first .data / .numpy() use inside expr."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute) and node.attr == "data":
+                chain = _attr_chain(node)
+                return ".".join(chain) if chain else "<expr>.data"
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "numpy":
+                chain = _attr_chain(node.func)
+                return (".".join(chain) + "()") if chain else "<expr>.numpy()"
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# R009 — concatenate/stack over a single-element sequence
+# ---------------------------------------------------------------------- #
+@rule
+class SingleElementConcat(Rule):
+    """Concat/stack of one tensor is a no-op wearing an op's costume.
+
+    ``concatenate([x], axis=-1)`` copies ``x`` and records a backward
+    for nothing; ``stack([x])`` is ``reshape``.  Usually the second
+    operand got lost in a refactor — which is a silent shape bug, not a
+    style issue, when the consumer expected the doubled width.
+    """
+
+    id = "R009"
+    name = "single-element-concat"
+    severity = "warning"
+    doc = ("concatenate/stack called with a single-element list/tuple; "
+           "either a no-op copy or a lost operand from a refactor")
+
+    _FUNCS = frozenset({"concatenate", "stack"})
+
+    def check(self, tree: ast.Module):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            chain = _attr_chain(node.func)
+            if not chain or chain[-1] not in self._FUNCS:
+                continue
+            first = node.args[0]
+            if isinstance(first, (ast.List, ast.Tuple)) \
+                    and len(first.elts) == 1 \
+                    and not isinstance(first.elts[0], ast.Starred):
+                yield (node, f"{chain[-1]}() over a single-element "
+                             "sequence is a no-op copy; pass the tensor "
+                             "directly or restore the missing operand")
+
+
+# ---------------------------------------------------------------------- #
 # Running rules over sources
 # ---------------------------------------------------------------------- #
 def _noqa_map(source: str) -> Dict[int, Optional[Set[str]]]:
@@ -578,7 +708,8 @@ def _suppressed(noqa: Dict[int, Optional[Set[str]]], node: ast.AST,
 
 
 def lint_source(source: str, path: str = "<string>",
-                select: Optional[Sequence[str]] = None) -> List[Violation]:
+                select: Optional[Sequence[str]] = None,
+                ignore: Optional[Sequence[str]] = None) -> List[Violation]:
     """Lint one source string; returns violations sorted by position."""
     try:
         tree = ast.parse(source, filename=path)
@@ -588,9 +719,12 @@ def lint_source(source: str, path: str = "<string>",
                           message=f"syntax error: {exc.msg}")]
     noqa = _noqa_map(source)
     wanted = {code.upper() for code in select} if select else None
+    skipped = {code.upper() for code in ignore} if ignore else set()
     violations: List[Violation] = []
     for rule_cls in all_rules():
         if wanted is not None and rule_cls.id not in wanted:
+            continue
+        if rule_cls.id in skipped:
             continue
         checker = rule_cls()
         for node, message in checker.check(tree):
@@ -607,10 +741,11 @@ def lint_source(source: str, path: str = "<string>",
 
 
 def lint_file(path: Path,
-              select: Optional[Sequence[str]] = None) -> List[Violation]:
+              select: Optional[Sequence[str]] = None,
+              ignore: Optional[Sequence[str]] = None) -> List[Violation]:
     """Lint one ``.py`` file."""
     source = Path(path).read_text(encoding="utf-8")
-    return lint_source(source, path=str(path), select=select)
+    return lint_source(source, path=str(path), select=select, ignore=ignore)
 
 
 def _iter_python_files(paths: Sequence) -> List[Path]:
@@ -647,11 +782,13 @@ class LintReport:
 
 
 def lint_paths(paths: Sequence,
-               select: Optional[Sequence[str]] = None) -> LintReport:
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> LintReport:
     """Lint files and directories (recursively); the CLI entry point."""
     report = LintReport()
     for file_path in _iter_python_files(paths):
-        report.violations.extend(lint_file(file_path, select=select))
+        report.violations.extend(
+            lint_file(file_path, select=select, ignore=ignore))
         report.files_checked += 1
     report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return report

@@ -1,0 +1,585 @@
+"""Abstract tensors: the ``repro.nn`` op surface over symbolic shapes.
+
+:class:`AbstractTensor` subclasses :class:`repro.nn.Tensor` but carries
+only ``(shape, dtype, requires_grad)`` — its ``.data`` is a zero-stride
+``np.broadcast_to`` view of a single scalar, so a whole forward pass
+executes with zero real FLOPs and near-zero memory while every shape
+rule (numpy broadcasting, matmul contraction, reshape conservation,
+reduction/keepdims, concat/stack) is checked symbolically.
+
+Shape entries are ints, :class:`~.dims.Dim` atoms, or affine
+:class:`~.dims.DimExpr` combinations; dtypes are inferred by probing the
+actual numpy operation on 0-d operands, so promotion semantics are exact
+by construction.  While a :class:`SymbolicTrace` is active, suspicious
+but legal events are recorded on it: a size-1 axis silently stretched
+against a broadcast-guarded dim (lost ``keepdims`` bugs) and floating
+results that deviate from ``nn.DEFAULT_DTYPE``.  Hard shape violations
+raise :class:`AbstractShapeError`.
+
+Mixed real/abstract expressions stay abstract: reflected operators on
+the subclass take priority (``real + abstract`` routes here), and the
+``concatenate``/``stack``/``where`` free functions in ``nn.tensor``
+dispatch to the ``_*_override`` hooks defined on this class.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...nn.tensor import DEFAULT_DTYPE, Tensor, is_grad_enabled
+from .dims import Dim, DimExpr, ShapeEnv, as_expr, contains_guarded
+
+__all__ = [
+    "AbstractShapeError",
+    "AbstractTensor",
+    "ShapeEvent",
+    "SymbolicTrace",
+    "current_trace",
+    "lift_tensor",
+    "abstract_concatenate",
+    "abstract_stack",
+    "abstract_where",
+]
+
+
+class AbstractShapeError(ValueError):
+    """A shape rule is statically violated during abstract execution."""
+
+
+def _fmt_shape(sym: tuple) -> str:
+    return "(" + ", ".join(repr(e) for e in sym) + ")"
+
+
+def _is_symbolic(entry) -> bool:
+    return isinstance(entry, (Dim, DimExpr))
+
+
+# ---------------------------------------------------------------------- #
+# Trace context: collects suspicious-but-legal events during a check run
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShapeEvent:
+    """One recorded observation (kind: 'stretch' | 'dtype' | custom)."""
+
+    kind: str
+    op: str
+    message: str
+
+
+class SymbolicTrace:
+    """Active while a forward is being abstractly executed.
+
+    Carries the :class:`ShapeEnv` used to lift real arrays into symbolic
+    shapes and accumulates deduplicated :class:`ShapeEvent` records
+    (loops re-emit the same event every iteration; one copy is enough).
+    """
+
+    def __init__(self, env: Optional[ShapeEnv] = None):
+        self.env = env
+        self.events: List[ShapeEvent] = []
+
+    def record(self, kind: str, op: str, message: str) -> None:
+        event = ShapeEvent(kind, op, message)
+        if event not in self.events:
+            self.events.append(event)
+
+    def __enter__(self) -> "SymbolicTrace":
+        global _CURRENT
+        self._prev = _CURRENT
+        _CURRENT = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _CURRENT
+        _CURRENT = self._prev
+
+
+_CURRENT: Optional[SymbolicTrace] = None
+
+
+def current_trace() -> Optional[SymbolicTrace]:
+    return _CURRENT
+
+
+def _resym(shape: Sequence[int]) -> tuple:
+    """Map a concrete shape through the active trace's environment."""
+    trace = _CURRENT
+    if trace is not None and trace.env is not None:
+        return trace.env.resymbolize(shape)
+    return tuple(int(s) for s in shape)
+
+
+# ---------------------------------------------------------------------- #
+# Symbolic broadcasting
+# ---------------------------------------------------------------------- #
+def broadcast_sym(a_sym: tuple, b_sym: tuple, op: str) -> tuple:
+    """Numpy broadcasting over symbolic shapes.
+
+    Raises :class:`AbstractShapeError` on incompatible axes.  An axis
+    explicitly present with size 1 that stretches against a
+    broadcast-guarded dim (the batch axis) records a 'stretch' event on
+    the active trace — legal numpy, almost always a lost ``keepdims``.
+    """
+    la, lb = len(a_sym), len(b_sym)
+    out = []
+    for i in range(1, max(la, lb) + 1):
+        ea = a_sym[la - i] if i <= la else None
+        eb = b_sym[lb - i] if i <= lb else None
+        if ea is None:
+            out.append(eb)
+            continue
+        if eb is None:
+            out.append(ea)
+            continue
+        wa, wb = int(ea), int(eb)
+        if wa == wb:
+            out.append(ea if _is_symbolic(ea) else eb)
+        elif wa == 1 or wb == 1:
+            target = eb if wa == 1 else ea
+            out.append(target)
+            trace = _CURRENT
+            if trace is not None and contains_guarded(target):
+                trace.record(
+                    "stretch", op,
+                    f"size-1 axis silently broadcast to {target!r} in op "
+                    f"'{op}': {_fmt_shape(a_sym)} vs {_fmt_shape(b_sym)}",
+                )
+        else:
+            raise AbstractShapeError(
+                f"operands could not be broadcast together in op '{op}': "
+                f"{_fmt_shape(a_sym)} vs {_fmt_shape(b_sym)}"
+            )
+    return tuple(reversed(out))
+
+
+def _note_dtype(op: str, dtype: np.dtype) -> None:
+    trace = _CURRENT
+    if trace is not None and dtype.kind in "fc" and dtype != DEFAULT_DTYPE:
+        trace.record(
+            "dtype", op,
+            f"op '{op}' produced {dtype} — deviates from DEFAULT_DTYPE "
+            f"({np.dtype(DEFAULT_DTYPE)})",
+        )
+
+
+# ---------------------------------------------------------------------- #
+# The abstract tensor itself
+# ---------------------------------------------------------------------- #
+class AbstractTensor(Tensor):
+    """A Tensor that executes shape/dtype rules only.
+
+    ``shape`` returns the *symbolic* tuple; ``.data`` is a zero-stride
+    witness array (every symbolic dim degraded to its witness int via
+    ``__index__``) so raw-numpy code paths inside forwards keep working.
+    No autograd graph is recorded — only ``requires_grad`` propagation.
+    """
+
+    __slots__ = ("sym",)
+
+    def __init__(self, shape: Sequence, dtype=DEFAULT_DTYPE,
+                 requires_grad: bool = False):
+        sym = tuple(shape)
+        witness = tuple(int(e) for e in sym)
+        if any(w < 0 for w in witness):
+            raise ValueError(f"negative dimension in {_fmt_shape(sym)}")
+        # Bypass Tensor.__init__: it would copy and force DEFAULT_DTYPE,
+        # destroying both the zero-memory witness and dtype tracking.
+        self.data = np.broadcast_to(np.zeros((), dtype=np.dtype(dtype)),
+                                    witness)
+        self.grad = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = None
+        self._parents = ()
+        self._ctx = None
+        self.sym = sym
+
+    # -------------------------------------------------------------- #
+    # Introspection
+    # -------------------------------------------------------------- #
+    @property
+    def shape(self) -> tuple:
+        return self.sym
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return (f"AbstractTensor(shape={_fmt_shape(self.sym)}, "
+                f"dtype={self.data.dtype}{grad_note})")
+
+    def detach(self) -> "AbstractTensor":
+        return AbstractTensor(self.sym, self.data.dtype, requires_grad=False)
+
+    # -------------------------------------------------------------- #
+    # Lifting and dtype probing
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _meta(value):
+        """(symbolic shape, 0-d dtype probe value, requires_grad)."""
+        if isinstance(value, AbstractTensor):
+            return value.sym, np.ones((), value.data.dtype), value.requires_grad
+        if isinstance(value, Tensor):
+            return (_resym(value.shape), np.ones((), value.data.dtype),
+                    value.requires_grad)
+        if isinstance(value, (bool, int, float, complex)):
+            # Keep python scalars raw so numpy's weak-promotion rules apply.
+            return (), value, False
+        arr = np.asarray(value)
+        return _resym(arr.shape), np.ones((), arr.dtype), False
+
+    def _result(self, sym, dtype, requires_grad, op: str) -> "AbstractTensor":
+        dtype = np.dtype(dtype)
+        _note_dtype(op, dtype)
+        rg = is_grad_enabled() and requires_grad
+        return AbstractTensor(sym, dtype, requires_grad=rg)
+
+    # -------------------------------------------------------------- #
+    # Elementwise arithmetic
+    # -------------------------------------------------------------- #
+    def _binary(self, other, opfn, opname, reflect=False):
+        o_sym, o_probe, o_rg = self._meta(other)
+        s_probe = np.ones((), self.data.dtype)
+        if reflect:
+            sym = broadcast_sym(o_sym, self.sym, opname)
+            dtype = np.asarray(opfn(o_probe, s_probe)).dtype
+        else:
+            sym = broadcast_sym(self.sym, o_sym, opname)
+            dtype = np.asarray(opfn(s_probe, o_probe)).dtype
+        return self._result(sym, dtype, self.requires_grad or o_rg, opname)
+
+    def __add__(self, other):
+        return self._binary(other, operator.add, "add")
+
+    def __radd__(self, other):
+        return self._binary(other, operator.add, "add", reflect=True)
+
+    def __sub__(self, other):
+        return self._binary(other, operator.sub, "sub")
+
+    def __rsub__(self, other):
+        return self._binary(other, operator.sub, "sub", reflect=True)
+
+    def __mul__(self, other):
+        return self._binary(other, operator.mul, "mul")
+
+    def __rmul__(self, other):
+        return self._binary(other, operator.mul, "mul", reflect=True)
+
+    def __truediv__(self, other):
+        return self._binary(other, operator.truediv, "div")
+
+    def __rtruediv__(self, other):
+        return self._binary(other, operator.truediv, "div", reflect=True)
+
+    def __neg__(self):
+        dtype = (-np.ones((), self.data.dtype)).dtype
+        return self._result(self.sym, dtype, self.requires_grad, "neg")
+
+    def __pow__(self, exponent):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        dtype = (np.ones((), self.data.dtype) ** exponent).dtype
+        return self._result(self.sym, dtype, self.requires_grad, "pow")
+
+    # -------------------------------------------------------------- #
+    # Matrix operations
+    # -------------------------------------------------------------- #
+    def matmul(self, other):
+        o_sym, o_probe, o_rg = self._meta(other)
+        a, b = list(self.sym), list(o_sym)
+        if not a or not b:
+            raise AbstractShapeError(
+                f"matmul requires at least 1-d operands: "
+                f"{_fmt_shape(self.sym)} @ {_fmt_shape(o_sym)}"
+            )
+        a_vec, b_vec = len(a) == 1, len(b) == 1
+        if a_vec:
+            a = [1] + a
+        if b_vec:
+            b = b + [1]
+        if int(a[-1]) != int(b[-2]):
+            raise AbstractShapeError(
+                f"matmul inner dimensions differ: {a[-1]!r} "
+                f"(= {int(a[-1])}) vs {b[-2]!r} (= {int(b[-2])}) in "
+                f"{_fmt_shape(self.sym)} @ {_fmt_shape(o_sym)}"
+            )
+        batch = broadcast_sym(tuple(a[:-2]), tuple(b[:-2]), "matmul")
+        sym = list(batch) + [a[-2], b[-1]]
+        if b_vec:
+            sym = sym[:-1]
+        if a_vec:
+            sym = sym[:-2] + sym[-1:] if not b_vec else sym[:-1]
+        dtype = np.result_type(self.data.dtype, np.asarray(o_probe).dtype)
+        return self._result(tuple(sym), dtype,
+                            self.requires_grad or o_rg, "matmul")
+
+    def __matmul__(self, other):
+        return self.matmul(other)
+
+    def __rmatmul__(self, other):
+        return _as_abstract(other).matmul(self)
+
+    def transpose(self, *axes):
+        nd = len(self.sym)
+        axes_t = tuple(axes) if axes else tuple(reversed(range(nd)))
+        sym = tuple(self.sym[a] for a in axes_t)
+        return self._result(sym, self.data.dtype, self.requires_grad,
+                            "transpose")
+
+    def swapaxes(self, axis1, axis2):
+        sym = list(self.sym)
+        sym[axis1], sym[axis2] = sym[axis2], sym[axis1]
+        return self._result(tuple(sym), self.data.dtype, self.requires_grad,
+                            "swapaxes")
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        total = int(np.prod([int(e) for e in self.sym], dtype=np.int64))
+        entries = list(shape)
+        hole = None
+        known = 1
+        for i, e in enumerate(entries):
+            if not _is_symbolic(e) and int(e) == -1:
+                if hole is not None:
+                    raise AbstractShapeError("reshape: more than one -1")
+                hole = i
+            else:
+                known *= int(e)
+        if hole is not None:
+            if known == 0 or total % known != 0:
+                raise AbstractShapeError(
+                    f"cannot reshape {_fmt_shape(self.sym)} (size {total}) "
+                    f"into {_fmt_shape(tuple(entries))}"
+                )
+            entries[hole] = total // known
+            known *= entries[hole]
+        if known != total:
+            raise AbstractShapeError(
+                f"cannot reshape {_fmt_shape(self.sym)} (size {total}) into "
+                f"{_fmt_shape(tuple(entries))} (size {known})"
+            )
+        return self._result(tuple(entries), self.data.dtype,
+                            self.requires_grad, "reshape")
+
+    # -------------------------------------------------------------- #
+    # Reductions
+    # -------------------------------------------------------------- #
+    def _reduce_sym(self, axis, keepdims):
+        nd = len(self.sym)
+        if axis is None:
+            axes = set(range(nd))
+        else:
+            axes_t = (axis,) if isinstance(axis, int) else tuple(axis)
+            axes = {a % nd for a in axes_t}
+        out = []
+        for i, e in enumerate(self.sym):
+            if i in axes:
+                if keepdims:
+                    out.append(1)
+            else:
+                out.append(e)
+        return tuple(out)
+
+    def sum(self, axis=None, keepdims=False):
+        dtype = np.ones((1,), self.data.dtype).sum().dtype
+        return self._result(self._reduce_sym(axis, keepdims), dtype,
+                            self.requires_grad, "sum")
+
+    def mean(self, axis=None, keepdims=False):
+        dtype = np.ones((1,), self.data.dtype).mean().dtype
+        return self._result(self._reduce_sym(axis, keepdims), dtype,
+                            self.requires_grad, "mean")
+
+    def max(self, axis=None, keepdims=False):
+        return self._result(self._reduce_sym(axis, keepdims), self.data.dtype,
+                            self.requires_grad, "max")
+
+    # -------------------------------------------------------------- #
+    # Elementwise nonlinearities (dtype probed on the real formula)
+    # -------------------------------------------------------------- #
+    def _unary(self, probe, opname):
+        dtype = np.asarray(probe(np.ones((), self.data.dtype))).dtype
+        return self._result(self.sym, dtype, self.requires_grad, opname)
+
+    def exp(self):
+        return self._unary(np.exp, "exp")
+
+    def log(self):
+        return self._unary(np.log, "log")
+
+    def sqrt(self):
+        return self._unary(np.sqrt, "sqrt")
+
+    def tanh(self):
+        return self._unary(np.tanh, "tanh")
+
+    def sigmoid(self):
+        def probe(x):
+            exp_neg = np.exp(-np.abs(x))
+            return np.where(x >= 0, 1.0 / (1.0 + exp_neg),
+                            exp_neg / (1.0 + exp_neg))
+        return self._unary(probe, "sigmoid")
+
+    def relu(self):
+        return self._unary(lambda x: x * (x > 0), "relu")
+
+    def abs(self):
+        return self._unary(np.abs, "abs")
+
+    def clip_min(self, minimum):
+        return self._unary(lambda x: np.maximum(x, minimum), "clip_min")
+
+    # -------------------------------------------------------------- #
+    # Indexing / gathering
+    # -------------------------------------------------------------- #
+    def __getitem__(self, index):
+        if isinstance(index, Tensor):
+            index = index.data
+        out = self.data[index]  # numpy validates on the witness
+        sym = self._getitem_sym(index, out.shape)
+        return self._result(sym, self.data.dtype, self.requires_grad,
+                            "getitem")
+
+    def _getitem_sym(self, index, out_shape):
+        idx = list(index) if isinstance(index, tuple) else [index]
+        basic = all(
+            isinstance(e, (int, np.integer, slice)) or e is Ellipsis
+            for e in idx
+        )
+        if not basic:
+            # Advanced indexing: fall back to resymbolizing the witness.
+            return _resym(out_shape)
+        if Ellipsis in idx:
+            pos = idx.index(Ellipsis)
+            fill = len(self.sym) - (len(idx) - 1)
+            idx = idx[:pos] + [slice(None)] * fill + idx[pos + 1:]
+        sym = []
+        axis = 0
+        for e in idx:
+            entry = self.sym[axis]
+            if isinstance(e, slice):
+                if e == slice(None):
+                    sym.append(entry)
+                else:
+                    sym.append(len(range(*e.indices(int(entry)))))
+            # integer index: axis is dropped
+            axis += 1
+        sym.extend(self.sym[axis:])
+        return tuple(sym)
+
+    def take(self, indices, axis=0):
+        indices = np.asarray(
+            indices.data if isinstance(indices, Tensor) else indices
+        )
+        axis = axis % len(self.sym)
+        sym = (self.sym[:axis] + _resym(indices.shape)
+               + self.sym[axis + 1:])
+        return self._result(sym, self.data.dtype, self.requires_grad, "take")
+
+    # -------------------------------------------------------------- #
+    # Safety net: any inherited op we did not override still yields an
+    # abstract child (computed on the tiny witness buffers).
+    # -------------------------------------------------------------- #
+    def _make_child(self, data, parents, backward):
+        arr = np.asarray(data)
+        rg = any(p.requires_grad for p in parents)
+        return self._result(_resym(arr.shape), arr.dtype, rg, "op")
+
+    # -------------------------------------------------------------- #
+    # Dispatch hooks for the tensor.py free functions
+    # -------------------------------------------------------------- #
+    def _concat_override(self, tensors, axis):
+        return abstract_concatenate(tensors, axis)
+
+    def _stack_override(self, tensors, axis):
+        return abstract_stack(tensors, axis)
+
+    def _where_override(self, condition, a, b):
+        return abstract_where(condition, a, b)
+
+
+def _as_abstract(value) -> AbstractTensor:
+    if isinstance(value, AbstractTensor):
+        return value
+    sym, probe, rg = AbstractTensor._meta(value)
+    return AbstractTensor(sym, np.asarray(probe).dtype, requires_grad=rg)
+
+
+def lift_tensor(tensor: Tensor, env: Optional[ShapeEnv] = None) -> AbstractTensor:
+    """Lift a real tensor into the abstract world, resymbolizing its shape."""
+    sym = env.resymbolize(tensor.shape) if env is not None else _resym(tensor.shape)
+    return AbstractTensor(sym, tensor.data.dtype,
+                          requires_grad=tensor.requires_grad)
+
+
+# ---------------------------------------------------------------------- #
+# Abstract counterparts of the tensor.py free functions
+# ---------------------------------------------------------------------- #
+def abstract_concatenate(tensors: Sequence, axis: int = 0) -> AbstractTensor:
+    metas = [AbstractTensor._meta(t) for t in tensors]
+    syms = [m[0] for m in metas]
+    nd = len(syms[0])
+    if any(len(s) != nd for s in syms):
+        raise AbstractShapeError(
+            "concatenate: operands have different ranks: "
+            + ", ".join(_fmt_shape(s) for s in syms)
+        )
+    axis = axis % nd
+    out = []
+    for i in range(nd):
+        entries = [s[i] for s in syms]
+        if i == axis:
+            total = as_expr(entries[0])
+            for e in entries[1:]:
+                total = total + as_expr(e)
+            out.append(total.const if not total.terms else total)
+            continue
+        witnesses = {int(e) for e in entries}
+        if len(witnesses) != 1:
+            raise AbstractShapeError(
+                f"concatenate: non-axis dimension {i} differs: "
+                + ", ".join(_fmt_shape(s) for s in syms)
+            )
+        out.append(next((e for e in entries if _is_symbolic(e)), entries[0]))
+    dtype = np.result_type(*[np.asarray(m[1]).dtype for m in metas])
+    rg = is_grad_enabled() and any(m[2] for m in metas)
+    result = AbstractTensor(tuple(out), dtype, requires_grad=rg)
+    _note_dtype("concatenate", result.data.dtype)
+    return result
+
+
+def abstract_stack(tensors: Sequence, axis: int = 0) -> AbstractTensor:
+    metas = [AbstractTensor._meta(t) for t in tensors]
+    syms = [m[0] for m in metas]
+    witnesses = {tuple(int(e) for e in s) for s in syms}
+    if len(witnesses) != 1:
+        raise AbstractShapeError(
+            "stack: operands have different shapes: "
+            + ", ".join(_fmt_shape(s) for s in syms)
+        )
+    merged = [next((s[i] for s in syms if _is_symbolic(s[i])), syms[0][i])
+              for i in range(len(syms[0]))]
+    axis = axis % (len(merged) + 1)
+    new_entry = _resym((len(tensors),))[0]
+    merged.insert(axis, new_entry)
+    dtype = np.result_type(*[np.asarray(m[1]).dtype for m in metas])
+    rg = is_grad_enabled() and any(m[2] for m in metas)
+    result = AbstractTensor(tuple(merged), dtype, requires_grad=rg)
+    _note_dtype("stack", result.data.dtype)
+    return result
+
+
+def abstract_where(condition, a, b) -> AbstractTensor:
+    c_sym, _, _ = AbstractTensor._meta(condition)
+    a_sym, a_probe, a_rg = AbstractTensor._meta(a)
+    b_sym, b_probe, b_rg = AbstractTensor._meta(b)
+    sym = broadcast_sym(broadcast_sym(c_sym, a_sym, "where"), b_sym, "where")
+    dtype = np.result_type(np.asarray(a_probe).dtype,
+                           np.asarray(b_probe).dtype)
+    rg = is_grad_enabled() and (a_rg or b_rg)
+    result = AbstractTensor(sym, dtype, requires_grad=rg)
+    _note_dtype("where", result.data.dtype)
+    return result

@@ -1,0 +1,383 @@
+"""Symbolic dimension algebra for the abstract shape interpreter.
+
+A :class:`Dim` is a named symbolic axis (``B`` for batch, ``H_a`` for the
+attribute-embedding width, ...) carrying a small concrete *witness* size.
+The witness makes a ``Dim`` usable anywhere plain numpy code expects an
+integer (``np.zeros((batch, dim))``, ``range(steps)``) via ``__index__``,
+so unmodified ``Module.forward`` code runs under symbolic shapes without
+edits.  Arithmetic over dims produces :class:`DimExpr` — a canonical
+affine combination (``H_r + H_a + H_m`` for a concat, ``2 * H_a`` for a
+cls+mean pooling) compared structurally, not by witness value.
+
+:class:`ShapeEnv` owns the atoms of one checking run and maps concrete
+witness sizes back to their atoms (``resymbolize``), which is how real
+arrays entering a traced forward (parameters, masks, index tables) are
+lifted into the symbolic world.  Witness sizes must therefore be unique
+per env; the probes use small odd primes for atoms and powers of two for
+ordinary hyper-parameters so the mapping is never ambiguous.
+
+The module also hosts the small constraint kit (:class:`Eq`,
+:class:`Divides`, :class:`Positive`, :class:`OneOf`) that
+``core.config.SDEAConfig`` uses for fail-fast dimension validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Dim",
+    "DimExpr",
+    "ShapeEnv",
+    "as_expr",
+    "Constraint",
+    "ConstraintError",
+    "Eq",
+    "Divides",
+    "Positive",
+    "OneOf",
+    "check_constraints",
+    "enforce_constraints",
+]
+
+DimLike = Union["Dim", "DimExpr", int]
+
+
+class Dim(int):
+    """A named symbolic axis with a concrete witness size.
+
+    Subclasses ``int`` so numpy treats a ``Dim`` as a genuine integer
+    scalar everywhere plain code consumes a shape entry —
+    ``np.arange(batch)`` yields an int64 index array, ``np.zeros((b, d))``
+    allocates, ``np.sqrt(head_dim)`` divides — while the symbolic
+    identity (name, structural equality/hash, DimExpr-lifting ``+``/
+    ``-``/``*``) rides on top.  Division and other unlifted operators
+    deliberately degrade to plain witness arithmetic.
+
+    ``guard_broadcast=True`` marks an axis that must never be produced by
+    stretching a size-1 axis (the batch axis: a silent ``(1, D)`` vs
+    ``(B, D)`` broadcast is almost always a lost ``keepdims`` bug).
+    """
+
+    # (no __slots__: variable-length builtins like int do not allow them,
+    # and an env only ever holds a handful of atoms)
+
+    def __new__(cls, name: str, size: int, guard_broadcast: bool = False):
+        size = int(size)
+        if size <= 0:
+            raise ValueError(f"dim {name!r} must have a positive witness size")
+        self = int.__new__(cls, size)
+        self.name = name
+        self.guard_broadcast = bool(guard_broadcast)
+        return self
+
+    @property
+    def size(self) -> int:
+        """Concrete witness size (the plain-int value of this dim)."""
+        return int.__index__(self)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self):
+        return hash((Dim, self.name, self.size))
+
+    def __eq__(self, other):
+        if isinstance(other, Dim):
+            return self.name == other.name and self.size == other.size
+        if isinstance(other, DimExpr):
+            return as_expr(self) == other
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    # Arithmetic lifts into DimExpr only against fellow symbols; plain
+    # numbers degrade to witness arithmetic.  (numpy internals such as
+    # ``np.arange`` do python arithmetic like ``(stop - start) / step``
+    # on scalars, so `Dim <op> int` must stay a plain number.)  Symbolic
+    # sums with constants are still expressible via ``as_expr``.
+    def __add__(self, other):
+        if isinstance(other, (Dim, DimExpr)):
+            return as_expr(self) + as_expr(other)
+        return int.__add__(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if isinstance(other, (Dim, DimExpr)):
+            return as_expr(self) - as_expr(other)
+        return int.__sub__(self, other)
+
+    def __rsub__(self, other):
+        if isinstance(other, (Dim, DimExpr)):
+            return as_expr(other) - as_expr(self)
+        return int.__rsub__(self, other)
+
+    def __mul__(self, other):
+        if isinstance(other, (Dim, DimExpr)):
+            # Dim products are not affine — degrade to the witness value.
+            return int.__index__(self) * int(other)
+        if isinstance(other, int):
+            return as_expr(self) * other
+        return int.__mul__(self, other)
+
+    __rmul__ = __mul__
+
+
+class DimExpr:
+    """Canonical affine combination of :class:`Dim` atoms plus a constant.
+
+    Terms keep insertion order (so a concat reads ``H_r + H_a + H_m``),
+    while equality and hashing are order-independent and structural.
+    """
+
+    __slots__ = ("terms", "const")
+
+    def __init__(self, terms: Dict[Dim, int], const: int = 0):
+        self.terms: Tuple[Tuple[Dim, int], ...] = tuple(
+            (d, int(c)) for d, c in terms.items() if c != 0
+        )
+        self.const = int(const)
+
+    @property
+    def value(self) -> int:
+        """Concrete witness value of the expression."""
+        return sum(d.size * c for d, c in self.terms) + self.const
+
+    def __index__(self) -> int:
+        return self.value
+
+    __int__ = __index__
+
+    def __repr__(self) -> str:
+        parts: List[str] = []
+        for d, c in self.terms:
+            if c == 1:
+                parts.append(d.name)
+            else:
+                parts.append(f"{c}*{d.name}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+    def __hash__(self):
+        return hash((DimExpr, frozenset(self.terms), self.const))
+
+    def __eq__(self, other):
+        if isinstance(other, (Dim, int)):
+            other = as_expr(other)
+        if isinstance(other, DimExpr):
+            return (
+                frozenset(self.terms) == frozenset(other.terms)
+                and self.const == other.const
+            )
+        return NotImplemented
+
+    def _combine(self, other: DimLike, sign: int) -> "DimExpr":
+        other = as_expr(other)
+        merged: Dict[Dim, int] = {d: c for d, c in self.terms}
+        for d, c in other.terms:
+            merged[d] = merged.get(d, 0) + sign * c
+        return DimExpr(merged, self.const + sign * other.const)
+
+    def __add__(self, other):
+        if not isinstance(other, (Dim, DimExpr, int)):
+            return self.value + other
+        return self._combine(other, +1)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if not isinstance(other, (Dim, DimExpr, int)):
+            return self.value - other
+        return self._combine(other, -1)
+
+    def __rsub__(self, other):
+        if not isinstance(other, (Dim, DimExpr, int)):
+            return other - self.value
+        return as_expr(other)._combine(self, -1)
+
+    # Non-affine operators degrade to plain witness arithmetic so raw
+    # numpy scalar code (``np.arange``, ``np.sqrt(dim)``, ``d // 2``)
+    # keeps working on expression-valued shape entries.
+    def __truediv__(self, other):
+        return self.value / other
+
+    def __rtruediv__(self, other):
+        return other / self.value
+
+    def __floordiv__(self, other):
+        return self.value // other
+
+    def __rfloordiv__(self, other):
+        return other // self.value
+
+    def __mod__(self, other):
+        return self.value % other
+
+    def __rmod__(self, other):
+        return other % self.value
+
+    def __mul__(self, other):
+        if isinstance(other, (Dim, DimExpr)):
+            # Dim products are not affine — degrade to the witness value.
+            return self.value * int(other)
+        if not isinstance(other, int):
+            return NotImplemented
+        return DimExpr({d: c * other for d, c in self.terms}, self.const * other)
+
+    __rmul__ = __mul__
+
+    def atoms(self) -> Tuple[Dim, ...]:
+        return tuple(d for d, _ in self.terms)
+
+
+def as_expr(value: DimLike) -> DimExpr:
+    """Lift an int or Dim into a DimExpr (DimExpr passes through)."""
+    if isinstance(value, DimExpr):
+        return value
+    if isinstance(value, Dim):
+        return DimExpr({value: 1})
+    return DimExpr({}, int(value))
+
+
+def contains_guarded(entry) -> bool:
+    """Whether a shape entry involves a broadcast-guarded atom."""
+    if isinstance(entry, Dim):
+        return entry.guard_broadcast
+    if isinstance(entry, DimExpr):
+        return any(d.guard_broadcast for d in entry.atoms())
+    return False
+
+
+class ShapeEnv:
+    """Registry of symbolic atoms for one shape-checking run.
+
+    ``resymbolize`` maps the axis sizes of a concrete array back to the
+    registered atoms, which lifts real tensors (parameters, embedding
+    outputs, masks) into the symbolic world mid-forward.  A witness size
+    claimed by two atoms becomes ambiguous and is left concrete.
+    """
+
+    def __init__(self):
+        self._atoms: Dict[str, Dim] = {}
+        self._by_size: Dict[int, Optional[Dim]] = {}
+
+    def dim(self, name: str, size: int, guard_broadcast: bool = False) -> Dim:
+        if name in self._atoms:
+            raise ValueError(f"dim {name!r} already registered")
+        atom = Dim(name, size, guard_broadcast=guard_broadcast)
+        self._atoms[name] = atom
+        if atom.size in self._by_size:
+            self._by_size[atom.size] = None  # ambiguous from now on
+        else:
+            self._by_size[atom.size] = atom
+        return atom
+
+    def __getitem__(self, name: str) -> Dim:
+        return self._atoms[name]
+
+    def atom_for_size(self, size: int) -> Optional[Dim]:
+        return self._by_size.get(int(size))
+
+    def resymbolize(self, shape: Sequence[int]) -> tuple:
+        """Map each axis size back to its unique atom where possible."""
+        out = []
+        for size in shape:
+            size = int(size)
+            atom = self._by_size.get(size)
+            out.append(atom if atom is not None else size)
+        return tuple(out)
+
+
+# ---------------------------------------------------------------------- #
+# Constraints (used by SDEAConfig fail-fast validation)
+# ---------------------------------------------------------------------- #
+class ConstraintError(ValueError):
+    """A dimension contract is violated; raised before any training step."""
+
+
+class Constraint:
+    """Base class: ``check()`` returns an error string or None."""
+
+    def check(self) -> Optional[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Eq(Constraint):
+    """Two dimension expressions must agree (witness equality)."""
+
+    def __init__(self, lhs: DimLike, rhs: DimLike, context: str = ""):
+        self.lhs, self.rhs, self.context = lhs, rhs, context
+
+    def check(self) -> Optional[str]:
+        if int(as_expr(self.lhs)) == int(as_expr(self.rhs)):
+            return None
+        where = f" ({self.context})" if self.context else ""
+        return (
+            f"{as_expr(self.lhs)!r} = {int(as_expr(self.lhs))} but "
+            f"{as_expr(self.rhs)!r} = {int(as_expr(self.rhs))}{where}"
+        )
+
+
+class Divides(Constraint):
+    """``divisor`` must evenly divide ``value`` (e.g. heads | bert_dim)."""
+
+    def __init__(self, divisor: DimLike, value: DimLike, context: str = ""):
+        self.divisor, self.value, self.context = divisor, value, context
+
+    def check(self) -> Optional[str]:
+        d, v = int(as_expr(self.divisor)), int(as_expr(self.value))
+        if d > 0 and v % d == 0:
+            return None
+        where = f" ({self.context})" if self.context else ""
+        return f"{as_expr(self.divisor)!r} = {d} does not divide " \
+               f"{as_expr(self.value)!r} = {v}{where}"
+
+
+class Positive(Constraint):
+    """A dimension expression must be strictly positive."""
+
+    def __init__(self, value: DimLike, context: str = ""):
+        self.value, self.context = value, context
+
+    def check(self) -> Optional[str]:
+        if int(as_expr(self.value)) > 0:
+            return None
+        where = f" ({self.context})" if self.context else ""
+        return f"{as_expr(self.value)!r} = {int(as_expr(self.value))} " \
+               f"must be positive{where}"
+
+
+class OneOf(Constraint):
+    """A configuration string must be one of the allowed options."""
+
+    def __init__(self, value: str, options: Sequence[str], context: str = ""):
+        self.value, self.options, self.context = value, tuple(options), context
+
+    def check(self) -> Optional[str]:
+        if self.value in self.options:
+            return None
+        where = f" ({self.context})" if self.context else ""
+        return f"{self.value!r} is not one of {list(self.options)}{where}"
+
+
+def check_constraints(constraints: Iterable[Constraint]) -> List[str]:
+    """Evaluate constraints, returning every violation message."""
+    errors = []
+    for constraint in constraints:
+        message = constraint.check()
+        if message is not None:
+            errors.append(message)
+    return errors
+
+
+def enforce_constraints(constraints: Iterable[Constraint],
+                        header: str = "dimension contract violated") -> None:
+    """Raise :class:`ConstraintError` listing all violations, if any."""
+    errors = check_constraints(constraints)
+    if errors:
+        details = "\n".join(f"  - {e}" for e in errors)
+        raise ConstraintError(f"{header}:\n{details}")

@@ -10,6 +10,7 @@ Usage (installed as the ``repro`` console script)::
     repro export   --dataset srprs/en_fr --out ./data/en_fr
     repro lint     src tests            # autograd-aware static analysis
     repro check-model --method sdea     # dynamic autograd-graph check
+    repro shape-check                   # symbolic whole-model shape check
 """
 
 from __future__ import annotations
@@ -166,7 +167,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from .obs import metrics
 
     start = time.perf_counter()
-    report = lint_paths(args.paths, select=args.select)
+    report = lint_paths(args.paths, select=args.select, ignore=args.ignore)
     seconds = time.perf_counter() - start
     # Lands in the run-record metrics snapshot when an obs session is
     # active (no-op otherwise) — `repro obs` then shows lint runtime.
@@ -180,6 +181,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"(linted {report.files_checked} files "
               f"in {seconds * 1000:.0f} ms)")
     return 1 if report.violations else 0
+
+
+def _cmd_shape_check(args: argparse.Namespace) -> int:
+    from .analysis.shapes.interpreter import (
+        format_json as shapes_json,
+        format_text as shapes_text,
+        shape_check,
+    )
+    from .experiments import available_methods
+    from .obs import metrics
+
+    methods = None
+    if args.method is not None:
+        known = available_methods()
+        if args.method not in known:
+            print(f"unknown method {args.method!r}; choose from {known}",
+                  file=sys.stderr)
+            return 1
+        methods = [args.method]
+    start = time.perf_counter()
+    report = shape_check(methods, select=args.select, ignore=args.ignore)
+    seconds = time.perf_counter() - start
+    # Same pattern as `repro lint`: lands in the run-record metrics
+    # snapshot when an obs session is active, no-op otherwise.
+    metrics.histogram("analysis.shapecheck_seconds").observe(seconds)
+    metrics.counter("analysis.shapecheck_findings").inc(len(report.findings))
+    output = shapes_json(report) if args.format == "json" \
+        else shapes_text(report)
+    print(output)
+    if args.format == "text":
+        print(f"(shape-checked {len(report.reports)} methods "
+              f"in {seconds * 1000:.0f} ms)")
+    return 1 if report.findings else 0
 
 
 def _cmd_check_model(args: argparse.Namespace) -> int:
@@ -286,7 +320,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--select", nargs="*", default=None,
                       help="restrict to specific rule ids (e.g. R001 R002)")
+    lint.add_argument("--ignore", nargs="*", default=None,
+                      help="skip specific rule ids (e.g. R005)")
     lint.set_defaults(func=_cmd_lint)
+
+    shape = sub.add_parser(
+        "shape-check",
+        help="abstractly execute every registered method over symbolic "
+             "dims and report shape/dtype/broadcast findings (see "
+             "docs/static_analysis.md)",
+    )
+    shape.add_argument("--method", default=None,
+                       help="check one method (default: all registered)")
+    shape.add_argument("--format", choices=("text", "json"), default="text")
+    shape.add_argument("--select", nargs="*", default=None,
+                       help="restrict to specific finding codes "
+                            "(e.g. S001 S002)")
+    shape.add_argument("--ignore", nargs="*", default=None,
+                       help="skip specific finding codes (e.g. S003)")
+    shape.set_defaults(func=_cmd_shape_check)
 
     check_model = sub.add_parser(
         "check-model",

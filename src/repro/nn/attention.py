@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from . import functional as F
+from ..analysis.shapes.spec import shape_spec
 from .layers import Dropout, Linear
 from .module import Module
 from .tensor import Tensor
@@ -52,6 +53,7 @@ class MultiHeadSelfAttention(Module):
         # (B, T, D) -> (B, H, T, D_h)
         return x.reshape(batch, steps, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
+    @shape_spec(x="b t dim", returns="b t dim")
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         """Attend within each sequence.
 
@@ -93,6 +95,8 @@ class GlobalAttentionPooling(Module):
         super().__init__()
         self.head = Linear(dim, dim, rng)
 
+    @shape_spec(states="b t head.in_features", last_state="b head.in_features",
+                returns="b head.out_features")
     def forward(self, states: Tensor, last_state: Tensor,
                 mask: Optional[np.ndarray] = None,
                 return_weights: bool = False):

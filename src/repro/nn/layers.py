@@ -13,6 +13,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from ..analysis.shapes.spec import shape_spec
 from .module import Module, ModuleList, Parameter
 from .tensor import Tensor
 
@@ -40,6 +41,7 @@ class Linear(Module):
             Parameter(np.zeros(out_features)) if bias else None
         )
 
+    @shape_spec(x="* in_features", returns="* out_features")
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight
         if self.bias is not None:
@@ -57,6 +59,7 @@ class Embedding(Module):
         self.embedding_dim = embedding_dim
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std))
 
+    @shape_spec(returns="* embedding_dim")
     def forward(self, ids: np.ndarray) -> Tensor:
         ids = np.asarray(ids)
         if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
@@ -77,6 +80,7 @@ class LayerNorm(Module):
         self.gamma = Parameter(np.ones(dim))
         self.beta = Parameter(np.zeros(dim))
 
+    @shape_spec(x="* dim", returns="* dim")
     def forward(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)
         centered = x - mean
@@ -113,6 +117,8 @@ class MLP(Module):
         if activation not in ("relu", "tanh", "gelu"):
             raise ValueError(f"unsupported activation: {activation}")
         self.activation = activation
+        self.in_features = in_features
+        self.out_features = out_features
         widths = [in_features, *hidden, out_features]
         self.layers = ModuleList(
             Linear(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)
@@ -126,6 +132,7 @@ class MLP(Module):
             return x.tanh()
         return F.gelu(x)
 
+    @shape_spec(x="* in_features", returns="* out_features")
     def forward(self, x: Tensor) -> Tensor:
         out = x
         for i, layer in enumerate(self.layers):

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from . import init
+from ..analysis.shapes.spec import shape_spec
 from .module import Module, Parameter
 from .tensor import Tensor, stack, where
 
@@ -41,6 +42,7 @@ class GRUCell(Module):
         self.u_h = Parameter(init.xavier_uniform((hidden_dim, hidden_dim), rng))
         self.b_h = Parameter(np.zeros(hidden_dim))
 
+    @shape_spec(x="b input_dim", h_prev="b hidden_dim", returns="b hidden_dim")
     def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
         """Advance one step: ``(B, D_in), (B, D_h) -> (B, D_h)``."""
         r = (x @ self.w_r + h_prev @ self.u_r + self.b_r).sigmoid()
@@ -63,6 +65,7 @@ class GRU(Module):
         self.hidden_dim = hidden_dim
         self.reverse = reverse
 
+    @shape_spec(x="b t cell.input_dim", returns="b t hidden_dim")
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         """Run the recurrence.
 
@@ -105,6 +108,7 @@ class BiGRU(Module):
         self.backward_gru = GRU(input_dim, hidden_dim, rng, reverse=True)
         self.hidden_dim = hidden_dim
 
+    @shape_spec(x="b t forward_gru.cell.input_dim", returns="b t hidden_dim")
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         """``(B, T, D_in) -> (B, T, D_h)`` as forward + backward states."""
         return self.forward_gru(x, mask) + self.backward_gru(x, mask)

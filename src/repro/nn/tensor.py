@@ -564,6 +564,11 @@ def _raw(value) -> np.ndarray:
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along an axis, with gradient splitting."""
     tensors = [_as_tensor(t) for t in tensors]
+    for t in tensors:
+        # Abstract tensors (repro.analysis.shapes) propagate symbolically.
+        override = getattr(t, "_concat_override", None)
+        if override is not None:
+            return override(tensors, axis)
     sizes = [t.shape[axis] for t in tensors]
     out = np.concatenate([t.data for t in tensors], axis=axis)
     offsets = np.cumsum([0] + sizes)
@@ -583,6 +588,10 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis."""
     tensors = [_as_tensor(t) for t in tensors]
+    for t in tensors:
+        override = getattr(t, "_stack_override", None)
+        if override is not None:
+            return override(tensors, axis)
     out = np.stack([t.data for t in tensors], axis=axis)
 
     def backward(g):
@@ -594,6 +603,10 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select; ``condition`` is a plain boolean array."""
+    for operand in (a, b):
+        override = getattr(operand, "_where_override", None)
+        if override is not None:
+            return override(condition, a, b)
     condition = np.asarray(_raw(condition), dtype=bool)
     a, b = _as_tensor(a), _as_tensor(b)
     out = np.where(condition, a.data, b.data)

@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from . import functional as F
+from ..analysis.shapes.spec import shape_spec
 from .attention import MultiHeadSelfAttention
 from .layers import Dropout, LayerNorm, Linear
 from .module import Module, ModuleList
@@ -31,6 +32,7 @@ class TransformerEncoderLayer(Module):
         self.norm2 = LayerNorm(dim)
         self.dropout = Dropout(dropout, rng) if dropout > 0 else None
 
+    @shape_spec(x="b t attention.dim", returns="b t attention.dim")
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         attended = self.attention(x, mask)
         if self.dropout is not None:
@@ -53,6 +55,7 @@ class TransformerEncoder(Module):
             for _ in range(num_layers)
         )
 
+    @shape_spec(x="b t d", returns="b t d")
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         out = x
         for layer in self.layers:

@@ -113,6 +113,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "R001" in out and "R002" not in out
 
+    def test_lint_ignore_drops_rules(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    x.data[0] = np.random.rand()\n"
+        )
+        assert main(["lint", str(dirty), "--ignore", "R002"]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "R002" not in out
+
     def test_lint_records_runtime_metric(self, tmp_path):
         from repro.obs import Registry, use_registry
         clean = tmp_path / "clean.py"
@@ -148,3 +159,48 @@ class TestCommands:
         assert main(["report", "--results", str(results),
                      "--out", str(out_file)]) == 0
         assert out_file.exists()
+
+
+class TestShapeCheckCommand:
+    def test_single_method_text(self, capsys):
+        assert main(["shape-check", "--method", "sdea"]) == 0
+        out = capsys.readouterr().out
+        assert "== sdea == ok" in out
+        assert "0 findings across 1 method(s)" in out
+        assert "shape-checked 1 methods" in out
+
+    def test_all_methods_are_clean(self, capsys):
+        from repro.experiments import available_methods
+
+        assert main(["shape-check"]) == 0
+        out = capsys.readouterr().out
+        assert f"0 findings across {len(available_methods())} method(s)" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["shape-check", "--method", "mtranse",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["methods_checked"] == 1
+        assert payload["counts"] == {}
+        assert payload["methods"][0]["method"] == "mtranse"
+
+    def test_select_and_ignore_are_accepted(self, capsys):
+        assert main(["shape-check", "--method", "gcn",
+                     "--select", "S001", "S002",
+                     "--ignore", "S003"]) == 0
+        assert "== gcn == ok" in capsys.readouterr().out
+
+    def test_unknown_method_fails(self, capsys):
+        assert main(["shape-check", "--method", "not-a-method"]) == 1
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_records_runtime_metric(self):
+        from repro.obs import Registry, use_registry
+
+        registry = Registry()
+        with use_registry(registry):
+            main(["shape-check", "--method", "mtranse"])
+        snapshot = registry.snapshot()
+        assert any("shapecheck_seconds" in name for name in snapshot)

@@ -26,7 +26,8 @@ def rule_ids(violations):
 class TestFramework:
     def test_all_rules_registered(self):
         ids = [cls.id for cls in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006",
+                       "R007", "R008", "R009"]
 
     def test_rules_have_metadata(self):
         for cls in all_rules():
@@ -42,6 +43,21 @@ class TestFramework:
         """
         assert set(rule_ids(lint(code))) == {"R001", "R002"}
         assert rule_ids(lint(code, select=["R002"])) == ["R002"]
+
+    def test_ignore_filters_rules(self):
+        code = """
+        import numpy as np
+        def f(x):
+            x.data[0] = 1.0
+            np.random.rand(3)
+        """
+        dedented = textwrap.dedent(code)
+        assert rule_ids(lint_source(dedented, ignore=["R001"])) == ["R002"]
+        assert rule_ids(lint_source(dedented, ignore=["r001", "R002"])) == []
+        # select and ignore compose: select wins the universe, ignore
+        # subtracts from it.
+        assert rule_ids(lint_source(dedented, select=["R001", "R002"],
+                                    ignore=["R002"])) == ["R001"]
 
     def test_syntax_error_reported_not_raised(self):
         violations = lint_source("def broken(:\n", path="bad.py")
@@ -395,3 +411,140 @@ class TestPathsAndReporters:
         assert payload["files_checked"] == 1
         assert payload["counts"] == {"R006": 1}
         assert payload["violations"][0]["line"] == 2
+
+
+class TestTensorCtorInLoopR007:
+    def test_tensor_in_for_loop_in_forward(self):
+        violations = lint("""
+        def forward(self, xs):
+            out = []
+            for x in xs:
+                out.append(Tensor(x))
+            return out
+        """)
+        assert rule_ids(violations) == ["R007"]
+
+    def test_parameter_in_while_loop_in_forward(self):
+        violations = lint("""
+        def forward(self, xs):
+            while xs:
+                p = Parameter(xs.pop())
+            return p
+        """)
+        assert rule_ids(violations) == ["R007"]
+
+    def test_ctor_before_loop_is_fine(self):
+        violations = lint("""
+        def forward(self, x):
+            h = Tensor(np.zeros((2, 3)))
+            for t in range(4):
+                h = self.cell(x, h)
+            return h
+        """)
+        assert rule_ids(violations) == []
+
+    def test_loop_outside_forward_is_fine(self):
+        violations = lint("""
+        def build(self, xs):
+            return [Tensor(x) for x in xs] or [Tensor(0) for _ in xs]
+        """)
+        # comprehensions are not For statements, and build() is not forward
+        assert rule_ids(violations) == []
+
+    def test_noqa_suppresses(self):
+        violations = lint("""
+        def forward(self, xs):
+            for x in xs:
+                y = Tensor(x)  # repro: noqa[R007] one item per call by design
+            return y
+        """)
+        assert rule_ids(violations) == []
+
+
+class TestNumpyRoundTripR008:
+    def test_tensor_wrapping_data_attribute(self):
+        violations = lint("""
+        def forward(self, x):
+            return Tensor(x.data * 2.0)
+        """)
+        assert rule_ids(violations) == ["R008"]
+        assert "x.data" in violations[0].message
+
+    def test_tensor_wrapping_numpy_call(self):
+        violations = lint("""
+        def forward(self, x):
+            return Tensor(np.tanh(x.numpy()))
+        """)
+        assert rule_ids(violations) == ["R008"]
+
+    def test_keyword_argument_is_scanned(self):
+        violations = lint("""
+        def forward(self, x):
+            return Tensor(data=x.data)
+        """)
+        assert rule_ids(violations) == ["R008"]
+
+    def test_outside_forward_is_fine(self):
+        violations = lint("""
+        def snapshot(self, x):
+            return Tensor(x.data.copy())
+        """)
+        assert rule_ids(violations) == []
+
+    def test_plain_wrap_is_fine(self):
+        violations = lint("""
+        def forward(self, mask):
+            return Tensor(np.where(mask, 0.0, -1e9))
+        """)
+        assert rule_ids(violations) == []
+
+    def test_noqa_suppresses(self):
+        violations = lint("""
+        def forward(self, x):
+            return Tensor(x.data)  # repro: noqa[R008] deliberate detach
+        """)
+        assert rule_ids(violations) == []
+
+
+class TestSingleElementConcatR009:
+    def test_single_element_concatenate(self):
+        violations = lint("""
+        def f(x):
+            return concatenate([x], axis=-1)
+        """)
+        assert rule_ids(violations) == ["R009"]
+
+    def test_single_element_stack_tuple(self):
+        violations = lint("""
+        def f(x):
+            return np.stack((x,))
+        """)
+        assert rule_ids(violations) == ["R009"]
+
+    def test_two_elements_are_fine(self):
+        violations = lint("""
+        def f(a, b):
+            return concatenate([a, b], axis=-1)
+        """)
+        assert rule_ids(violations) == []
+
+    def test_starred_single_element_is_fine(self):
+        violations = lint("""
+        def f(parts):
+            return concatenate([*parts], axis=-1)
+        """)
+        assert rule_ids(violations) == []
+
+    def test_dynamic_list_is_fine(self):
+        violations = lint("""
+        def f(parts):
+            return stack(parts, axis=1)
+        """)
+        assert rule_ids(violations) == []
+
+    def test_noqa_suppresses(self):
+        violations = lint("""
+        def f(x):
+            return stack([x])  # repro: noqa[R009] the edge case under test
+        """)
+        assert rule_ids(violations) == []

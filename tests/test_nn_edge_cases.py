@@ -108,7 +108,7 @@ class TestGradEnabledState:
 class TestOpEdgeCases:
     def test_concatenate_single_tensor(self):
         t = Tensor(np.ones((2, 2)), requires_grad=True)
-        out = concatenate([t], axis=0)
+        out = concatenate([t], axis=0)  # repro: noqa[R009] the edge case under test
         out.sum().backward()
         np.testing.assert_allclose(t.grad, np.ones((2, 2)))
 

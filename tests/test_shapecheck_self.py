@@ -1,0 +1,35 @@
+"""Self-gate: `repro shape-check` must be green for every registered method.
+
+This is the repo's own whole-model static gate, mirroring
+``test_lint_self``: every method in the experiment registry has a probe,
+every probe executes abstractly with zero findings, and the whole sweep
+stays fast enough to run on every commit.
+"""
+
+import time
+
+from repro.analysis.shapes.interpreter import format_text, shape_check
+from repro.analysis.shapes.probes import available_probes
+from repro.experiments import available_methods
+
+
+def test_every_registered_method_has_a_probe():
+    missing = set(available_methods()) - set(available_probes())
+    assert not missing, (
+        f"methods without a shape probe: {sorted(missing)} — add one in "
+        "src/repro/analysis/shapes/probes.py"
+    )
+
+
+def test_shape_check_is_clean_for_all_methods():
+    report = shape_check()
+    assert len(report.reports) == len(available_methods())
+    assert report.ok, "\n" + format_text(report)
+
+
+def test_shape_check_is_fast():
+    start = time.perf_counter()
+    shape_check()
+    elapsed = time.perf_counter() - start
+    # Budget from the issue: the whole-model sweep must finish in < 5 s.
+    assert elapsed < 5.0, f"shape-check took {elapsed:.2f}s"

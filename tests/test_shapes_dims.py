@@ -1,0 +1,160 @@
+"""Symbolic dimension algebra: Dim, DimExpr, ShapeEnv, constraints."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.shapes.dims import (
+    ConstraintError,
+    Dim,
+    DimExpr,
+    Divides,
+    Eq,
+    OneOf,
+    Positive,
+    ShapeEnv,
+    as_expr,
+    check_constraints,
+    contains_guarded,
+    enforce_constraints,
+)
+
+
+class TestDim:
+    def test_is_an_int_with_a_name(self):
+        b = Dim("B", 3)
+        assert isinstance(b, int)
+        assert int(b) == 3
+        assert b.size == 3
+        assert repr(b) == "B"
+        # Raw numpy consumes the witness transparently.
+        assert np.zeros((b, 2)).shape == (3, 2)
+        assert list(range(b)) == [0, 1, 2]
+
+    def test_arange_produces_integer_indices(self):
+        # numpy computes arange lengths with python scalar arithmetic;
+        # a Dim must degrade to plain numbers there (models index with
+        # np.arange(batch)).
+        idx = np.arange(Dim("B", 3))
+        assert idx.dtype.kind == "i"
+        assert idx.tolist() == [0, 1, 2]
+
+    def test_structural_equality_and_hash(self):
+        assert Dim("B", 3) == Dim("B", 3)
+        assert Dim("B", 3) != Dim("T", 3)
+        assert hash(Dim("B", 3)) == hash(Dim("B", 3))
+        assert hash(Dim("B", 3)) != hash(Dim("T", 3))
+
+    def test_positive_witness_required(self):
+        with pytest.raises(ValueError):
+            Dim("Z", 0)
+
+    def test_symbolic_sum_of_dims(self):
+        h_r, h_a = Dim("H_r", 13), Dim("H_a", 11)
+        expr = h_r + h_a
+        assert isinstance(expr, DimExpr)
+        assert int(expr) == 24
+        assert repr(expr) == "H_r + H_a"
+
+    def test_plain_int_arithmetic_degrades(self):
+        b = Dim("B", 3)
+        assert b + 1 == 4 and not isinstance(b + 1, DimExpr)
+        assert b - 1 == 2
+        assert 10 - b == 7
+        assert b * 2 == DimExpr({b: 2})  # int coefficient stays symbolic
+        assert b / 2 == 1.5
+        assert np.sqrt(b) == pytest.approx(np.sqrt(3))
+
+    def test_dim_products_degrade_to_witness(self):
+        b, t = Dim("B", 3), Dim("T", 5)
+        assert b * t == 15
+        assert not isinstance(b * t, DimExpr)
+
+
+class TestDimExpr:
+    def test_order_preserving_repr_order_free_equality(self):
+        h_r, h_a = Dim("H_r", 13), Dim("H_a", 11)
+        left = as_expr(h_r) + as_expr(h_a)
+        right = as_expr(h_a) + as_expr(h_r)
+        assert repr(left) == "H_r + H_a"
+        assert repr(right) == "H_a + H_r"
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_constants_and_scaling(self):
+        b = Dim("B", 3)
+        expr = as_expr(b) * 2 + 4
+        assert repr(expr) == "2*B + 4"
+        assert int(expr) == 10
+
+    def test_cancellation_drops_terms(self):
+        b = Dim("B", 3)
+        assert (as_expr(b) - as_expr(b)) == as_expr(0)
+
+    def test_value_degradation_operators(self):
+        expr = as_expr(Dim("H", 8)) + as_expr(Dim("G", 4))
+        assert expr / 2 == 6.0
+        assert expr // 5 == 2
+        assert expr % 5 == 2
+        assert 24 / expr == 2.0
+
+    def test_index_protocol(self):
+        expr = as_expr(Dim("H", 8)) + 2
+        assert np.zeros((expr,)).shape == (10,)
+
+
+class TestShapeEnv:
+    def test_resymbolize_maps_witnesses_to_atoms(self):
+        env = ShapeEnv()
+        b = env.dim("B", 3)
+        h = env.dim("H", 11)
+        assert env.resymbolize((3, 11, 7)) == (b, h, 7)
+
+    def test_duplicate_witness_becomes_ambiguous(self):
+        env = ShapeEnv()
+        env.dim("B", 3)
+        env.dim("K", 3)
+        assert env.resymbolize((3,)) == (3,)  # left concrete
+
+    def test_duplicate_name_rejected(self):
+        env = ShapeEnv()
+        env.dim("B", 3)
+        with pytest.raises(ValueError):
+            env.dim("B", 5)
+
+    def test_guard_flag_propagates_through_exprs(self):
+        env = ShapeEnv()
+        b = env.dim("B", 3, guard_broadcast=True)
+        h = env.dim("H", 11)
+        assert contains_guarded(b)
+        assert not contains_guarded(h)
+        assert contains_guarded(as_expr(b) + as_expr(h))
+        assert not contains_guarded(7)
+
+
+class TestConstraints:
+    def test_eq_divides_positive_oneof(self):
+        h = Dim("H", 12)
+        assert Eq(h, 12).check() is None
+        assert Eq(h, 13).check() is not None
+        assert Divides(4, h).check() is None
+        assert Divides(5, h).check() is not None
+        assert Positive(h).check() is None
+        assert Positive(0).check() is not None
+        assert OneOf("mean", ("mean", "max")).check() is None
+        assert OneOf("sum", ("mean", "max")).check() is not None
+
+    def test_check_collects_every_violation(self):
+        errors = check_constraints([
+            Positive(0, "a"), Positive(1, "b"), Divides(3, 10, "c"),
+        ])
+        assert len(errors) == 2
+
+    def test_enforce_raises_with_bulleted_details(self):
+        with pytest.raises(ConstraintError) as excinfo:
+            enforce_constraints([Positive(0, "width"), Divides(3, 10)])
+        message = str(excinfo.value)
+        assert "dimension contract violated" in message
+        assert message.count("  - ") == 2
+
+    def test_enforce_passes_silently(self):
+        enforce_constraints([Positive(1), Divides(2, 10)])
