@@ -1,6 +1,7 @@
 # Convenience targets for the SDEA reproduction.
 
-.PHONY: install test lint shapecheck check bench report obs-demo clean
+.PHONY: install test lint shapecheck check bench bench-hot bench-hot-smoke \
+	report obs-demo profile-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,8 +18,8 @@ lint:
 shapecheck:
 	PYTHONPATH=src python -m repro.cli shape-check
 
-# The full gate: lint clean, shapes clean, then the test suite.
-check: lint shapecheck test
+# The full gate: lint clean, shapes clean, hot-path bench smoke, tests.
+check: lint shapecheck bench-hot-smoke test
 
 # Tiny instrumented run: prints the span report and writes a run record
 # under runs/ (inspect it with `python -m repro.cli obs`).
@@ -29,6 +30,21 @@ obs-demo:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Hot-path micro-benchmarks (matmul / softmax / attention / BiGRU /
+# cosine top-k); writes BENCH_hotpath.json at the repo root.
+bench-hot:
+	python benchmarks/bench_hotpath.py
+
+# One repetition, no JSON overwrite — wired into `make check` as a
+# smoke run so the bench harness itself stays green.
+bench-hot-smoke:
+	python benchmarks/bench_hotpath.py --smoke
+
+# Profile a tiny SDEA run: per-op report (fwd/bwd split, FLOPs) plus a
+# Perfetto-loadable chrome trace under runs/.
+profile-demo:
+	PYTHONPATH=src python -m repro.cli profile --method sdea
 
 report:
 	python -m repro.cli report --results benchmarks/results --out EXPERIMENTS.md

@@ -1,0 +1,220 @@
+"""Hot-path micro-benchmarks seeding the perf trajectory.
+
+Times the five op mixes that dominate SDEA wall time — dense matmul,
+softmax, one multi-head-attention step (BERT encoder), one BiGRU step
+(attribute aggregation), and candidate-ranking cosine top-k (Algorithm
+3) — and writes ``BENCH_hotpath.json`` at the repo root so later perf
+PRs have a quantitative baseline to beat (``make bench-hot``).
+
+FLOP counts come from the shared analytic model in
+:mod:`repro.analysis.shapes.flops`: tensor-op workloads are measured by
+running one repetition under the op profiler
+(:class:`repro.obs.profile.OpProfiler`) and reading its estimate; the
+raw-numpy cosine top-k workload (no autograd ops) applies the same
+matmul formula directly.  Timing then happens *without* the profiler
+installed (best-of-N over untouched code paths), so GFLOP/s divides an
+analytic count by a clean wall time.
+
+Usage::
+
+    python benchmarks/bench_hotpath.py                 # full run, writes JSON
+    python benchmarks/bench_hotpath.py --smoke         # 1 rep, no JSON (CI)
+    python benchmarks/bench_hotpath.py --out other.json --repeat 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.align.similarity import cosine_similarity_matrix, topk_indices  # noqa: E402
+from repro.analysis.shapes.flops import flops_for  # noqa: E402
+from repro.nn import functional as F  # noqa: E402
+from repro.nn.attention import MultiHeadSelfAttention  # noqa: E402
+from repro.nn.rnn import BiGRU  # noqa: E402
+from repro.nn.tensor import Tensor  # noqa: E402
+from repro.obs.profile import OpProfiler  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_hotpath.json"
+SCHEMA_VERSION = 1
+
+
+class Bench:
+    """One micro-benchmark: a closure plus a FLOP estimate strategy."""
+
+    def __init__(self, name: str, describe: str, make: Callable[[], Callable],
+                 analytic_flops: Optional[int] = None):
+        self.name = name
+        self.describe = describe
+        self.make = make  # returns the zero-arg workload closure
+        self.analytic_flops = analytic_flops  # None => profile one rep
+
+
+def _rng() -> np.random.Generator:
+    return np.random.default_rng(7)
+
+
+def bench_matmul() -> Bench:
+    m, k, n = 256, 256, 256
+
+    def make():
+        rng = _rng()
+        a = Tensor(rng.normal(size=(m, k)))
+        b = Tensor(rng.normal(size=(k, n)))
+        return lambda: a @ b
+
+    return Bench("matmul", f"({m},{k}) @ ({k},{n})", make)
+
+
+def bench_softmax() -> Bench:
+    rows, cols = 512, 512
+
+    def make():
+        x = Tensor(_rng().normal(size=(rows, cols)))
+        return lambda: F.softmax(x, axis=-1)
+
+    return Bench("softmax", f"softmax over ({rows},{cols})", make)
+
+
+def bench_attention() -> Bench:
+    batch, steps, dim, heads = 8, 32, 64, 4
+
+    def make():
+        rng = _rng()
+        mha = MultiHeadSelfAttention(dim, heads, rng)
+        x = Tensor(rng.normal(size=(batch, steps, dim)))
+        return lambda: mha(x)
+
+    return Bench("mha_step",
+                 f"multi-head self-attention B={batch} T={steps} "
+                 f"D={dim} H={heads}", make)
+
+
+def bench_bigru() -> Bench:
+    batch, steps, dim, hidden = 8, 16, 32, 32
+
+    def make():
+        rng = _rng()
+        gru = BiGRU(dim, hidden, rng)
+        x = Tensor(rng.normal(size=(batch, steps, dim)))
+        return lambda: gru(x)
+
+    return Bench("bigru_step",
+                 f"BiGRU B={batch} T={steps} in={dim} hidden={hidden}", make)
+
+
+def bench_cosine_topk() -> Bench:
+    n1, n2, dim, k = 1000, 1000, 64, 10
+    # Raw-numpy path (no autograd ops): apply the shared FLOP model
+    # directly — the similarity matrix is one (n1,d)@(d,n2) matmul plus
+    # two normalisations.
+    flops = (flops_for("matmul", [(n1, dim), (dim, n2)], (n1, n2))
+             + 2 * flops_for("mul", [(n1, dim)], (n1, dim))
+             + 2 * flops_for("mul", [(n2, dim)], (n2, dim)))
+
+    def make():
+        rng = _rng()
+        a = rng.normal(size=(n1, dim))
+        b = rng.normal(size=(n2, dim))
+
+        def run():
+            similarity = cosine_similarity_matrix(a, b)
+            return topk_indices(similarity, k)
+
+        return run
+
+    return Bench("cosine_topk",
+                 f"candidate ranking: cosine ({n1},{dim})x({n2},{dim}) "
+                 f"top-{k}", make, analytic_flops=flops)
+
+
+ALL_BENCHES: List[Callable[[], Bench]] = [
+    bench_matmul, bench_softmax, bench_attention, bench_bigru,
+    bench_cosine_topk,
+]
+
+
+def _profiled_flops(run: Callable) -> int:
+    profiler = OpProfiler()
+    profiler.install()
+    try:
+        run()
+    finally:
+        profiler.uninstall()
+    return profiler.total_flops()
+
+
+def run_bench(bench: Bench, repeat: int) -> Dict[str, object]:
+    run = bench.make()
+    if bench.analytic_flops is not None:
+        flops = int(bench.analytic_flops)
+    else:
+        flops = _profiled_flops(bench.make())  # fresh closure: clean timing
+    run()  # warm numpy caches / allocator
+    times = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - start)
+    best = min(times)
+    return {
+        "workload": bench.describe,
+        "repeats": repeat,
+        "best_seconds": round(best, 6),
+        "flops_estimate": flops,
+        "gflops_per_sec": round(flops / best / 1e9, 4) if best > 0 else None,
+    }
+
+
+def run_all(repeat: int) -> Dict[str, object]:
+    results = {}
+    for factory in ALL_BENCHES:
+        bench = factory()
+        results[bench.name] = run_bench(bench, repeat)
+        row = results[bench.name]
+        print(f"{bench.name:<12} best={row['best_seconds'] * 1e3:8.3f}ms  "
+              f"flops={row['flops_estimate']:>12}  "
+              f"gflops/s={row['gflops_per_sec']}")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "benchmarks": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timed repetitions per bench (best-of)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="result JSON path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke: 1 repetition, never writes JSON")
+    args = parser.parse_args(argv)
+    repeat = 1 if args.smoke else max(1, args.repeat)
+    payload = run_all(repeat)
+    if args.smoke:
+        print("(smoke run: JSON not written)")
+        return 0
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -364,6 +364,17 @@ def _tiny_method(method_name: str):
     return make_method(method_name)
 
 
+def tiny_check_pair():
+    """Public alias: the tiny synthetic pair used for fast end-to-end
+    checks (also the default workload of ``repro profile``)."""
+    return _tiny_pair()
+
+
+def tiny_check_method(method_name: str):
+    """Public alias: instantiate ``method_name`` at unit-test scale."""
+    return _tiny_method(method_name)
+
+
 def check_method(method_name: str, pair=None, split=None,
                  max_captures: int = 8) -> List[GraphReport]:
     """Graph-check one registered method end-to-end on a tiny pair.

@@ -6,6 +6,8 @@ Usage (installed as the ``repro`` console script)::
     repro stats    --dataset dbp15k/zh_en
     repro run      --dataset dbp15k/zh_en --method sdea --stable --trace
     repro obs                           # inspect the latest run record
+    repro obs --chrome-trace out.json   # span data -> Perfetto trace
+    repro profile --method sdea         # op-level profile + chrome trace
     repro table    --table 3            # regenerate a paper table
     repro export   --dataset srprs/en_fr --out ./data/en_fr
     repro lint     src tests            # autograd-aware static analysis
@@ -78,14 +80,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         anomaly_ctx = detect_anomaly()
     else:
         anomaly_ctx = nullcontext()
-    with obs.session(runs_dir=args.runs_dir) as sess, anomaly_ctx:
+    # Session first, anomaly second: the anomaly hooks must stack on top
+    # of the profiler's engine hooks (both patch Tensor._make_child).
+    with obs.session(runs_dir=args.runs_dir,
+                     profile=args.profile) as sess, anomaly_ctx:
         result = run_experiment(args.method, pair, split,
                                 with_stable_matching=args.stable)
         if args.trace:
             print()
             print(sess.tracer.report())
             print()
+        if args.profile:
+            print()
+            print(sess.profiler.report())
+            print()
     print(f"{args.method}: {result.row()}  ({result.seconds:.1f}s)")
+    if args.profile:
+        print(f"profile: {result.total_flops_estimate:.4g} FLOPs estimated, "
+              f"peak {result.peak_tensor_bytes} live tensor bytes")
     if result.record_path is not None:
         print(f"run record: {result.record_path}")
     return 0
@@ -106,6 +118,16 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         # malformed JSON, or JSON that is not a run record
         print(f"cannot read run record {path}: {exc}", file=sys.stderr)
         return 1
+    if args.chrome_trace:
+        try:
+            trace_doc = obs.record_to_chrome_trace(record)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        out = obs.write_chrome_trace(args.chrome_trace, trace_doc)
+        print(f"wrote chrome trace for {record.run_id} to {out} "
+              "(open in https://ui.perfetto.dev)")
+        return 0
     print(f"({path})")
     print(obs.format_record(record, with_spans=not args.no_spans,
                             with_metrics=not args.no_metrics))
@@ -216,6 +238,61 @@ def _cmd_shape_check(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Op-level profile of one method's training loop.
+
+    Without ``--dataset`` the method runs at unit-test scale on the tiny
+    synthetic pair (seconds, not minutes) — enough to see the op mix,
+    forward/backward split and FLOP distribution of the real code paths.
+    """
+    from .analysis.graphcheck import tiny_check_method, tiny_check_pair
+    from .experiments.methods import make_method
+    from .obs import trace as obs_trace
+    from .obs.profile import format_summary_json
+
+    known = available_methods()
+    if args.method not in known:
+        print(f"unknown method {args.method!r}; choose from {known}",
+              file=sys.stderr)
+        return 1
+    if args.dataset:
+        pair = build_dataset(args.dataset)
+        method = make_method(args.method)
+    else:
+        pair = tiny_check_pair()
+        method = tiny_check_method(args.method)
+    split = pair.split()
+    with obs.session(runs_dir=None, profile=True) as sess:
+        with obs_trace.span("profile", method=args.method,
+                            dataset=pair.name):
+            with obs_trace.span("fit"):
+                method.fit(pair, split)
+            with obs_trace.span("evaluate"):
+                method.evaluate(split.test)
+    profiler = sess.profiler
+    if not profiler.stats:
+        print(f"{args.method} executed no tensor ops "
+              "(closed-form / non-gradient method); nothing to profile",
+              file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(format_summary_json(profiler, top=args.top))
+    else:
+        print(f"profile: {args.method} on {pair.name}")
+        print()
+        print(profiler.report(top=args.top))
+    trace_out = args.trace_out or str(
+        Path(args.runs_dir) / f"profile-{args.method}-trace.json"
+    )
+    out = obs.write_chrome_trace(trace_out, obs.build_chrome_trace(
+        span_tree=sess.tracer.to_dict(),
+        op_events=profiler.trace_events(),
+        metadata={"method": args.method, "dataset": pair.name},
+    ))
+    print(f"chrome trace: {out}  (open in https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_check_model(args: argparse.Namespace) -> int:
     from .analysis import check_method
     from .experiments import available_methods
@@ -271,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--detect-anomaly", action="store_true",
                      help="raise with op provenance on the first NaN/Inf "
                           "in a forward value or backward gradient")
+    run.add_argument("--profile", action="store_true",
+                     help="op-level autograd profiling: per-op wall time, "
+                          "FLOP estimates, forward/backward split, "
+                          "chrome trace next to the run record")
     run.add_argument("--runs-dir", default=obs.DEFAULT_RUNS_DIR,
                      help="directory for structured run records")
     run.set_defaults(func=_cmd_run)
@@ -285,7 +366,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="omit the span tree")
     obs_cmd.add_argument("--no-metrics", action="store_true",
                          help="omit the metrics snapshot")
+    obs_cmd.add_argument("--chrome-trace", default=None, metavar="OUT.json",
+                         help="convert the record's span data to a "
+                              "catapult/Perfetto trace file instead of "
+                              "printing it")
     obs_cmd.set_defaults(func=_cmd_obs)
+
+    profile = sub.add_parser(
+        "profile",
+        help="op-level autograd profile of one method (tiny synthetic "
+             "pair by default): per-op wall time, FLOPs, fwd/bwd split, "
+             "chrome trace",
+    )
+    profile.add_argument("--method", required=True)
+    profile.add_argument("--dataset", default=None,
+                         help="profile on a real dataset instead of the "
+                              "tiny synthetic pair (slower)")
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows in the per-op table")
+    profile.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    profile.add_argument("--trace-out", default=None,
+                         help="chrome-trace output path (default: "
+                              "<runs-dir>/profile-<method>-trace.json)")
+    profile.add_argument("--runs-dir", default=obs.DEFAULT_RUNS_DIR)
+    profile.set_defaults(func=_cmd_profile)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("--table", required=True, choices=sorted(_TABLES))

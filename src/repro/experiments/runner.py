@@ -9,6 +9,7 @@ run record is written under the session's ``runs_dir`` — see
 from __future__ import annotations
 
 import dataclasses
+import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -40,6 +41,10 @@ class ExperimentResult:
     fit_seconds: float = 0.0
     eval_seconds: float = 0.0
     record_path: Optional[Path] = None
+    # Filled from the op profiler when the run executed inside
+    # ``obs.session(profile=True)``; zero otherwise.
+    peak_tensor_bytes: int = 0
+    total_flops_estimate: int = 0
 
     @classmethod
     def from_evaluation(cls, method: str, dataset: str,
@@ -90,12 +95,19 @@ def _method_config(method) -> tuple[Dict[str, object], Optional[int]]:
 
 
 def _write_run_record(result: ExperimentResult, method) -> Optional[Path]:
-    """Persist a run record when an obs session with a runs_dir is active."""
+    """Persist a run record when an obs session with a runs_dir is active.
+
+    With op profiling active the record embeds the profiler digest
+    (totals + top-10 op table) and a chrome-trace file — spans merged
+    with op events, Perfetto-loadable — is written next to the record
+    and pointed to from ``profile.chrome_trace``.
+    """
     session = active_session()
     if session is None or session.runs_dir is None:
         return None
     from ..obs.runrecord import version_stamp
     config, seed = _method_config(method)
+    profiler = getattr(session, "profiler", None)
     record = RunRecord(
         method=result.method,
         dataset=result.dataset,
@@ -111,8 +123,26 @@ def _write_run_record(result: ExperimentResult, method) -> Optional[Path]:
         },
         metrics=session.registry.snapshot(),
         spans=session.tracer.to_dict(),
+        profile=profiler.summary(top=10) if profiler is not None else {},
     )
-    return write_record(record, session.runs_dir)
+    path = write_record(record, session.runs_dir)
+    if profiler is not None:
+        from ..obs.chrometrace import build_chrome_trace, write_chrome_trace
+        trace_path = path.with_name(path.stem + "-trace.json")
+        write_chrome_trace(trace_path, build_chrome_trace(
+            span_tree=session.tracer.to_dict(),
+            op_events=profiler.trace_events(),
+            metadata={"run_id": record.run_id, "method": record.method,
+                      "dataset": record.dataset},
+        ))
+        # The record file name (dedup counter) is only known after
+        # write_record, so patch the pointer into the JSON in place.
+        record.profile["chrome_trace"] = trace_path.name
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["profile"]["chrome_trace"] = trace_path.name
+        path.write_text(json.dumps(data, indent=2, sort_keys=True,
+                                   default=str), encoding="utf-8")
+    return path
 
 
 def run_experiment(method_name: str, pair: KGPair,
@@ -140,6 +170,11 @@ def run_experiment(method_name: str, pair: KGPair,
         seconds=fit_seconds + eval_seconds,
         fit_seconds=fit_seconds, eval_seconds=eval_seconds,
     )
+    session = active_session()
+    profiler = getattr(session, "profiler", None) if session else None
+    if profiler is not None:
+        result.peak_tensor_bytes = profiler.peak_live_bytes
+        result.total_flops_estimate = profiler.total_flops()
     result.record_path = _write_run_record(result, method)
     events.info("run_end", method=method_name, dataset=pair.name,
                 hits_at_1=result.hits_at_1, fit_seconds=fit_seconds,

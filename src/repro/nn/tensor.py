@@ -87,8 +87,10 @@ class Tensor:
 
     # _ctx holds op provenance (an OpProvenance record) while anomaly
     # detection (repro.analysis.anomaly) is active; None otherwise.
+    # __weakref__ lets the op profiler (repro.obs.profile) track live
+    # tensor bytes without keeping outputs alive.
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
-                 "_ctx")
+                 "_ctx", "__weakref__")
     __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):

@@ -9,6 +9,11 @@ Four parts (see ``docs/observability.md``):
 * :mod:`repro.obs.events` — leveled ``key=value`` structured event log
   with JSONL / stderr sinks and rate limiting.
 * :mod:`repro.obs.runrecord` — per-run JSON manifests under ``runs/``.
+* :mod:`repro.obs.profile` — opt-in op-level autograd profiler
+  (``obs.session(profile=True)``): per-op wall time, analytic FLOPs,
+  live-tensor bytes, forward/backward split.
+* :mod:`repro.obs.chrometrace` — catapult-JSON export of spans + op
+  events, viewable in Perfetto (``repro obs --chrome-trace``).
 
 Everything is a no-op until a :func:`session` is entered (or a live
 registry/tracer/event log is installed explicitly), so instrumented hot
@@ -33,6 +38,12 @@ process-global instances::
 
 from . import events, metrics
 from . import tracing as trace
+from .chrometrace import (
+    build_chrome_trace,
+    record_to_chrome_trace,
+    span_tree_to_events,
+    write_chrome_trace,
+)
 from .events import EventLog, JsonlSink, StderrSink
 from .metrics import (
     Counter,
@@ -75,4 +86,13 @@ __all__ = [
     "RunRecord", "write_record", "load_record", "latest_record",
     "list_records", "format_record", "version_stamp", "DEFAULT_RUNS_DIR",
     "ObsSession", "session", "active_session", "is_active",
+    "build_chrome_trace", "record_to_chrome_trace", "span_tree_to_events",
+    "write_chrome_trace",
 ]
+
+# NOTE: repro.obs.profile (OpProfiler, active_profiler) is imported
+# lazily — it reaches into repro.nn for its hook points, and this
+# package must stay importable from inside repro.nn (optim/layers pull
+# in metrics/tracing at import time).  Use
+# ``from repro.obs.profile import OpProfiler`` or
+# ``obs.session(profile=True)``.

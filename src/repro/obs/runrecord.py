@@ -76,6 +76,9 @@ class RunRecord:
     timing: Dict[str, float] = dataclasses.field(default_factory=dict)
     metrics: Dict[str, object] = dataclasses.field(default_factory=dict)
     spans: Dict[str, object] = dataclasses.field(default_factory=dict)
+    # Op-profiler digest (obs.session(profile=True)): totals, top-10 op
+    # table, and a pointer to the chrome-trace file next to the record.
+    profile: Dict[str, object] = dataclasses.field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     @property
@@ -118,11 +121,18 @@ def load_record(path) -> RunRecord:
 
 
 def list_records(runs_dir=DEFAULT_RUNS_DIR) -> List[Path]:
-    """Run-record paths under ``runs_dir``, oldest first."""
+    """Run-record paths under ``runs_dir``, oldest first.
+
+    Chrome-trace exports (``*-trace.json``) live next to their records
+    and are not records themselves.
+    """
     directory = Path(runs_dir)
     if not directory.is_dir():
         return []
-    return sorted(p for p in directory.glob("*.json") if p.is_file())
+    return sorted(
+        p for p in directory.glob("*.json")
+        if p.is_file() and not p.name.endswith("-trace.json")
+    )
 
 
 def latest_record(runs_dir=DEFAULT_RUNS_DIR) -> Optional[Path]:
@@ -185,8 +195,40 @@ def format_record(record: RunRecord, with_spans: bool = True,
         lines.append("")
         lines.append("metrics:")
         lines.extend(_format_metrics(record.metrics))
+    if record.profile:
+        lines.append("")
+        lines.append("profile:")
+        lines.extend("  " + line for line in _format_profile(record.profile))
     if with_spans and record.spans:
         lines.append("")
         lines.append("spans:")
         lines.append(format_span_tree(record.spans))
     return "\n".join(lines)
+
+
+def _format_profile(profile: Dict[str, object]) -> List[str]:
+    lines: List[str] = []
+    totals = profile.get("totals", {})
+    if isinstance(totals, dict) and totals:
+        lines.append(
+            f"ops={totals.get('ops', 0)}  "
+            f"wall={float(totals.get('wall_seconds', 0.0)):.3f}s  "
+            f"flops={float(totals.get('flops_estimate', 0)):.4g}  "
+            f"peak_bytes={totals.get('peak_tensor_bytes', 0)}"
+        )
+    trace_file = profile.get("chrome_trace")
+    if trace_file:
+        lines.append(f"chrome-trace: {trace_file}")
+    top_ops = profile.get("top_ops", [])
+    if top_ops:
+        lines.append(f"{'op':<14} {'calls':>8} {'wall(s)':>9} "
+                     f"{'fwd(s)':>8} {'bwd(s)':>8} {'flops':>12}")
+        for row in top_ops:
+            lines.append(
+                f"{row.get('op', '?'):<14} {row.get('calls', 0):>8} "
+                f"{float(row.get('wall_seconds', 0.0)):>9.4f} "
+                f"{float(row.get('forward_seconds', 0.0)):>8.4f} "
+                f"{float(row.get('backward_seconds', 0.0)):>8.4f} "
+                f"{float(row.get('flops', 0)):>12.4g}"
+            )
+    return lines

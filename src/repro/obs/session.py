@@ -33,13 +33,21 @@ _active: Optional["ObsSession"] = None
 
 
 class ObsSession:
-    """A bundle of live registry + tracer + event log, globally installed."""
+    """A bundle of live registry + tracer + event log, globally installed.
+
+    With ``profile=True`` the session additionally installs an op-level
+    autograd profiler (:class:`repro.obs.profile.OpProfiler`, exposed as
+    ``sess.profiler``) for its duration — per-op wall time, FLOP
+    estimates, live-tensor bytes and chrome-trace events.
+    """
 
     def __init__(self, runs_dir: Optional[str] = "runs",
                  trace_alloc: bool = False,
                  events_jsonl=None,
                  events_stderr: bool = False,
-                 stderr_level: int = events_mod.INFO):
+                 stderr_level: int = events_mod.INFO,
+                 profile: bool = False,
+                 profile_max_events: int = 200_000):
         self.runs_dir = runs_dir
         self.registry = Registry()
         self.tracer = Tracer(trace_alloc=trace_alloc)
@@ -49,6 +57,12 @@ class ObsSession:
         if events_stderr:
             sinks.append(StderrSink(min_level=stderr_level))
         self.events = EventLog(sinks)
+        self.profiler = None
+        if profile:
+            # Lazy import: profile pulls in repro.nn, which itself
+            # imports repro.obs submodules.
+            from .profile import OpProfiler
+            self.profiler = OpProfiler(max_events=profile_max_events)
         self._previous = None
 
     def __enter__(self) -> "ObsSession":
@@ -60,10 +74,14 @@ class ObsSession:
             _active,
         )
         _active = self
+        if self.profiler is not None:
+            self.profiler.install()
         return self
 
     def __exit__(self, *exc) -> None:
         global _active
+        if self.profiler is not None:
+            self.profiler.uninstall()
         prev_registry, prev_tracer, prev_events, prev_active = self._previous
         metrics_mod.set_registry(prev_registry)
         tracing_mod.set_tracer(prev_tracer)
@@ -74,11 +92,14 @@ class ObsSession:
 
 def session(runs_dir: Optional[str] = "runs", trace_alloc: bool = False,
             events_jsonl=None, events_stderr: bool = False,
-            stderr_level: int = events_mod.INFO) -> ObsSession:
+            stderr_level: int = events_mod.INFO,
+            profile: bool = False,
+            profile_max_events: int = 200_000) -> ObsSession:
     """Create an :class:`ObsSession` (use as a context manager)."""
     return ObsSession(runs_dir=runs_dir, trace_alloc=trace_alloc,
                       events_jsonl=events_jsonl, events_stderr=events_stderr,
-                      stderr_level=stderr_level)
+                      stderr_level=stderr_level, profile=profile,
+                      profile_max_events=profile_max_events)
 
 
 def active_session() -> Optional[ObsSession]:

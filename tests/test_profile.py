@@ -1,0 +1,289 @@
+"""Op-level profiler tests: FLOP model, fwd/bwd split, memory, overhead.
+
+Covers the contracts stated in ``docs/observability.md`` ("Profiling"):
+analytic FLOP estimates match hand-computed counts, forward and backward
+phases aggregate separately, module attribution follows the forward
+stack, weakref-based memory tracking never pins tensors, the
+``profile.peak_tensor_bytes`` gauge lands in the session registry, and —
+the crucial one — a finished profiling session leaves the engine
+byte-identical to the never-profiled baseline (<2% wall time).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+import time
+import weakref
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.analysis.shapes.flops import FLOP_FORMULAS, covered_ops, flops_for
+from repro.experiments import run_experiment
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Linear
+from repro.nn.tensor import Tensor
+from repro.obs.profile import (OpProfiler, OpStat, active_profiler,
+                               format_op_table, format_summary_json)
+
+
+class TestFlopModel:
+    """Spot checks of the analytic FLOP table against hand counts."""
+
+    def test_matmul_is_2mnk(self):
+        # (M,K) @ (K,N): one multiply + one add per contraction step.
+        assert flops_for("matmul", [(3, 4), (4, 5)], (3, 5)) == 2 * 3 * 5 * 4
+        assert flops_for("matmul", [(64, 32), (32, 16)], (64, 16)) \
+            == 2 * 32 * 64 * 16
+
+    def test_batched_matmul_contracts_last_parent_axis(self):
+        # (B,H,T,Dh) @ (B,H,Dh,T) -> (B,H,T,T): 2*Dh per output cell.
+        flops = flops_for("matmul", [(2, 4, 8, 16), (2, 4, 16, 8)],
+                          (2, 4, 8, 8))
+        assert flops == 2 * 16 * (2 * 4 * 8 * 8)
+
+    def test_elementwise_and_activations(self):
+        assert flops_for("add", [(10, 10), (10, 10)], (10, 10)) == 100
+        assert flops_for("tanh", [(5, 5)], (5, 5)) == 4 * 25
+
+    def test_data_movement_is_free(self):
+        for op in ("reshape", "transpose"):
+            if op in covered_ops():
+                assert flops_for(op, [(8, 8)], (64,)) == 0
+
+    def test_unknown_op_is_zero_not_crash(self):
+        assert flops_for("definitely_not_an_op", [(3,)], (3,)) == 0
+        assert "matmul" in FLOP_FORMULAS
+
+
+class TestOpProfiler:
+    def test_matmul_forward_flops_match_hand_count(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4, 5)), requires_grad=True)
+        with OpProfiler() as profiler:
+            a @ b
+        fwd = profiler.by_op()["matmul"]["forward"]
+        assert fwd.calls == 1
+        assert fwd.flops == 2 * 3 * 5 * 4
+        assert fwd.out_bytes == 3 * 5 * 8  # float64 output
+
+    def test_backward_split_and_2x_estimate(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4, 5)), requires_grad=True)
+        with OpProfiler() as profiler:
+            (a @ b).sum().backward()
+        matmul = profiler.by_op()["matmul"]
+        assert matmul["forward"].calls == 1
+        assert matmul["backward"].calls == 1
+        assert matmul["backward"].flops == 2 * matmul["forward"].flops
+        # The sum node ran in both phases too.
+        assert profiler.by_op()["sum"]["backward"].calls == 1
+        assert profiler.total_wall() >= 0.0
+
+    def test_attention_matmul_flops_hand_count(self):
+        # Four D->D projections (8*B*T*D^2) plus QK^T and attn@V
+        # (4*B*T^2*D): the canonical attention FLOP budget.
+        batch, steps, dim, heads = 2, 4, 8, 2
+        mha = MultiHeadSelfAttention(dim, heads, np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(batch, steps, dim)))
+        with OpProfiler() as profiler:
+            mha(x)
+        fwd = profiler.by_op()["matmul"]["forward"]
+        expected = (8 * batch * steps * dim * dim
+                    + 4 * batch * steps * steps * dim)
+        assert fwd.flops == expected
+
+    def test_module_attribution(self):
+        layer = Linear(6, 3, np.random.default_rng(0))
+        x = Tensor(np.ones((2, 6)))
+        with OpProfiler() as profiler:
+            layer(x)
+        modules = {module for (_op, _phase, module) in profiler.stats}
+        assert "Linear" in modules
+        assert "Linear" in profiler.by_module()
+
+    def test_friendly_op_names(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        with OpProfiler() as profiler:
+            _ = a + a
+            _ = a * a
+            _ = a / 2.0
+            _ = a.tanh()
+        names = set(profiler.by_op())
+        assert {"add", "mul", "div", "tanh"} <= names
+        assert not any(name.startswith("__") for name in names)
+
+    def test_event_cap_counts_drops(self):
+        a = Tensor(np.ones((2,)))
+        with OpProfiler(max_events=3) as profiler:
+            for _ in range(10):
+                _ = a + a
+        assert len(profiler.events) == 3
+        assert profiler.dropped_events == 7
+        assert profiler.summary()["totals"]["dropped_events"] == 7
+
+    def test_single_profiler_at_a_time(self):
+        with OpProfiler():
+            with pytest.raises(RuntimeError):
+                OpProfiler().install()
+
+    def test_engine_restored_after_uninstall(self):
+        original_make_child = Tensor._make_child
+        original_dispatch = Tensor._backward_dispatch
+        with OpProfiler() as profiler:
+            assert Tensor._make_child is not original_make_child
+            assert active_profiler() is profiler
+        assert Tensor._make_child is original_make_child
+        assert Tensor._backward_dispatch is original_dispatch
+        assert active_profiler() is None
+
+    def test_report_and_json_render(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4, 5)), requires_grad=True)
+        with OpProfiler() as profiler:
+            (a @ b).sum().backward()
+        text = profiler.report()
+        assert "matmul" in text and "fwd(s)" in text
+        payload = json.loads(format_summary_json(profiler))
+        assert payload["totals"]["flops_estimate"] == profiler.total_flops()
+        assert payload["by_module"]
+        empty = format_op_table({}, totals=None)
+        assert "op" in empty  # header renders even with no rows
+
+    def test_opstat_merge(self):
+        left, right = OpStat(), OpStat()
+        left.add(0.5, 100, 8)
+        right.add(0.25, 50, 8)
+        left.merge(right)
+        assert (left.calls, left.wall, left.flops, left.out_bytes) \
+            == (2, 0.75, 150, 16)
+
+
+class TestMemoryTracking:
+    def test_live_bytes_fall_when_tensors_die(self):
+        with OpProfiler() as profiler:
+            a = Tensor(np.ones((100, 100)))
+            out = a + a  # 80_000 bytes of float64 output
+            assert profiler.live_bytes >= out.data.nbytes
+            peak = profiler.peak_live_bytes
+            ref = weakref.ref(out)
+            del out
+            gc.collect()
+            assert ref() is None, "profiler must not pin tensors"
+            assert profiler.live_bytes < peak
+        assert profiler.peak_live_bytes == peak
+
+    def test_peak_gauge_lands_in_session_registry(self):
+        with obs.session(runs_dir=None, profile=True) as sess:
+            a = Tensor(np.ones((64, 64)))
+            _ = a + a
+        snapshot = sess.registry.snapshot()
+        assert "profile.peak_tensor_bytes" in snapshot
+        series = snapshot["profile.peak_tensor_bytes"]["series"]
+        assert series and series[0]["value"] >= 64 * 64 * 8
+
+    def test_no_growth_across_repeated_graphs(self):
+        with OpProfiler() as profiler:
+            for _ in range(5):
+                x = Tensor(np.ones((50, 50)), requires_grad=True)
+                (x * x).sum().backward()
+            del x
+            gc.collect()
+            assert profiler.live_bytes == 0
+
+
+def _train_step(weights, x):
+    loss = (x @ weights).tanh().sum()
+    loss.backward()
+    weights.zero_grad()
+
+
+class TestOverheadGuard:
+    """A *finished* profiling session must leave the engine untouched.
+
+    Install/uninstall swap back the original class methods, so the
+    post-session path is byte-identical to the never-profiled one; the
+    timing assertion (interleaved best-of-7, same shape as the obs
+    5%-guard) holds the line at 2%.
+    """
+
+    def test_disabled_profiler_overhead_below_2pct(self):
+        rng = np.random.default_rng(0)
+        # Tens-of-milliseconds workload: long enough that best-of-N
+        # timing resolves a 2% margin above scheduler/GC noise.
+        weights = Tensor(rng.normal(size=(256, 256)), requires_grad=True)
+        x = Tensor(rng.normal(size=(512, 256)))
+        run = lambda: [_train_step(weights, x) for _ in range(5)]
+        original = Tensor._make_child
+        run()  # warm caches
+        # One full profiling session, then measure the restored engine.
+        with obs.session(runs_dir=None, profile=True):
+            run()
+        assert Tensor._make_child is original, "engine not restored"
+
+        def measure() -> float:
+            baseline, after = [], []
+            gc.collect()
+            gc.disable()
+            try:
+                for i in range(9):
+                    # Alternate which side runs first so ordering bias
+                    # (cache state, frequency ramps) hits both equally.
+                    sides = [(baseline, run), (after, run)]
+                    if i % 2:
+                        sides.reverse()
+                    for samples, fn in sides:
+                        start = time.perf_counter()
+                        fn()
+                        samples.append(time.perf_counter() - start)
+            finally:
+                gc.enable()
+            # Median, not min: scheduler spikes are one-sided and a
+            # lucky sample must not decide an identical-code comparison.
+            return statistics.median(after) / statistics.median(baseline)
+
+        # The compared code paths are byte-identical (asserted above),
+        # so any measured gap is machine noise; retry the measurement
+        # round rather than widening the 2% contract.
+        ratios = []
+        for _ in range(3):
+            ratios.append(measure())
+            if ratios[-1] <= 1.02:
+                return
+        raise AssertionError(
+            f"post-session overhead exceeded 2% in 3 rounds: "
+            f"{[f'{r - 1:.1%}' for r in ratios]}"
+        )
+
+
+class TestExperimentIntegration:
+    def test_profiled_run_fills_result_and_record(self, tiny_pair,
+                                                  tiny_split, tmp_path):
+        with obs.session(runs_dir=tmp_path, profile=True):
+            result = run_experiment("jape-stru", tiny_pair, tiny_split)
+        assert result.total_flops_estimate > 0
+        assert result.peak_tensor_bytes > 0
+        record = json.loads(result.record_path.read_text(encoding="utf-8"))
+        profile = record["profile"]
+        assert profile["totals"]["flops_estimate"] \
+            == result.total_flops_estimate
+        assert 0 < len(profile["top_ops"]) <= 10
+        trace_path = result.record_path.with_name(
+            result.record_path.stem + "-trace.json"
+        )
+        assert trace_path.exists()
+        assert profile["chrome_trace"] == trace_path.name
+        rendered = obs.format_record(obs.load_record(result.record_path))
+        assert "profile:" in rendered and "chrome-trace:" in rendered
+
+    def test_unprofiled_run_leaves_zeros(self, tiny_pair, tiny_split,
+                                         tmp_path):
+        with obs.session(runs_dir=tmp_path):
+            result = run_experiment("jape-stru", tiny_pair, tiny_split)
+        assert result.total_flops_estimate == 0
+        assert result.peak_tensor_bytes == 0
+        record = json.loads(result.record_path.read_text(encoding="utf-8"))
+        assert record["profile"] == {}
