@@ -1,7 +1,7 @@
 # Convenience targets for the SDEA reproduction.
 
 .PHONY: install test lint shapecheck check bench bench-hot bench-hot-smoke \
-	report obs-demo profile-demo clean
+	bench-compare bench-compare-smoke report obs-demo profile-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,8 +18,9 @@ lint:
 shapecheck:
 	PYTHONPATH=src python -m repro.cli shape-check
 
-# The full gate: lint clean, shapes clean, hot-path bench smoke, tests.
-check: lint shapecheck bench-hot-smoke test
+# The full gate: lint clean, shapes clean, hot-path bench smoke,
+# committed bench baseline structurally valid, tests.
+check: lint shapecheck bench-hot-smoke bench-compare-smoke test
 
 # Tiny instrumented run: prints the span report and writes a run record
 # under runs/ (inspect it with `python -m repro.cli obs`).
@@ -40,6 +41,16 @@ bench-hot:
 # smoke run so the bench harness itself stays green.
 bench-hot-smoke:
 	python benchmarks/bench_hotpath.py --smoke
+
+# Rerun the hot-path bench and fail on >20% GFLOP/s regressions against
+# the committed BENCH_hotpath.json (docs/performance.md).
+bench-compare:
+	python benchmarks/compare_hotpath.py
+
+# Deterministic structural validation of the committed baseline (no
+# timing) — part of `make check`.
+bench-compare-smoke:
+	python benchmarks/compare_hotpath.py --smoke
 
 # Profile a tiny SDEA run: per-op report (fwd/bwd split, FLOPs) plus a
 # Perfetto-loadable chrome trace under runs/.

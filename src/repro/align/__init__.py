@@ -16,6 +16,7 @@ from .metrics import (
     metrics_from_ranks,
 )
 from .similarity import (
+    chunked_cosine_topk,
     cosine_similarity_matrix,
     csls_similarity_matrix,
     euclidean_distance_matrix,
@@ -24,7 +25,8 @@ from .similarity import (
 )
 
 __all__ = [
-    "cosine_similarity_matrix", "csls_similarity_matrix",
+    "chunked_cosine_topk", "cosine_similarity_matrix",
+    "csls_similarity_matrix",
     "euclidean_distance_matrix",
     "topk_indices", "rank_of_target",
     "AlignmentMetrics", "metrics_from_ranks", "evaluate_similarity",

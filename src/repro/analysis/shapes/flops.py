@@ -75,6 +75,48 @@ def _zero(parents: Sequence[Shape], out: Shape) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# Fused kernels (repro.nn.kernels) — one autograd node for an entire
+# composed subgraph, so the FLOP model must charge the whole subgraph to
+# the single node.  Formulas mirror the reference decompositions the
+# kernels replace (same matmul contractions, same per-element op
+# counts), so fused and reference runs report comparable FLOP totals.
+# --------------------------------------------------------------------- #
+
+def _gru_fused_flops(parents: Sequence[Shape], out: Shape) -> int:
+    # Parents lead with x: (B, D) for the cell, (B, T, D) for the
+    # sequence kernel; out is (B, H) / (B, T, H).  Per output element:
+    # three matmul contractions (x-projection to 3H, h-projection to 2H,
+    # candidate (r*h) projection to H -> 6D + 6H multiply-adds) plus two
+    # sigmoids, one tanh and the gate/blend arithmetic (~22 FLOPs).
+    if not parents or not parents[0] or not out:
+        return 0
+    d_in = int(parents[0][-1])
+    hidden = int(out[-1])
+    return _numel(out) * (6 * d_in + 6 * hidden + 22)
+
+
+def _softmax_fused_flops(parents: Sequence[Shape], out: Shape) -> int:
+    # max, subtract, exp, sum, divide — 5 per element.
+    return 5 * _numel(out)
+
+
+def _log_softmax_fused_flops(parents: Sequence[Shape], out: Shape) -> int:
+    # max, subtract, exp, sum, log, subtract — 6 per element.
+    return 6 * _numel(out)
+
+
+def _cross_entropy_fused_flops(parents: Sequence[Shape], out: Shape) -> int:
+    # log-softmax over the logits plus the gather/mean — dominated by
+    # the 6-per-logit log-softmax; the picked-row reduction is O(rows).
+    return 6 * _in_elems(parents, out)
+
+
+def _layer_norm_fused_flops(parents: Sequence[Shape], out: Shape) -> int:
+    # mean, center, square-mean, sqrt, divide, scale, shift — ~8/elem.
+    return 8 * _numel(out)
+
+
 #: op name -> (parent shapes, out shape) -> FLOP estimate.  Op names are
 #: the friendly names the profiler derives from the engine's backward
 #: closures (dunders stripped: ``__add__`` -> ``add``,
@@ -103,6 +145,13 @@ FLOP_FORMULAS: Dict[str, Callable[[Sequence[Shape], Shape], int]] = {
     "sum": _in_elems,
     "max": _in_elems,
     "mean": _mean_flops,
+    # fused kernels (single autograd node = whole composed subgraph)
+    "fused_gru_cell": _gru_fused_flops,
+    "fused_gru_sequence": _gru_fused_flops,
+    "fused_softmax": _softmax_fused_flops,
+    "fused_log_softmax": _log_softmax_fused_flops,
+    "fused_cross_entropy": _cross_entropy_fused_flops,
+    "fused_layer_norm": _layer_norm_fused_flops,
     # data movement
     "transpose": _zero,
     "swapaxes": _zero,

@@ -80,10 +80,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         anomaly_ctx = detect_anomaly()
     else:
         anomaly_ctx = nullcontext()
+    if args.no_fused:
+        kernel_ctx = nullcontext()
+    else:
+        from .nn.kernels import use_kernels
+        kernel_ctx = use_kernels()
     # Session first, anomaly second: the anomaly hooks must stack on top
     # of the profiler's engine hooks (both patch Tensor._make_child).
     with obs.session(runs_dir=args.runs_dir,
-                     profile=args.profile) as sess, anomaly_ctx:
+                     profile=args.profile) as sess, anomaly_ctx, kernel_ctx:
         result = run_experiment(args.method, pair, split,
                                 with_stable_matching=args.stable)
         if args.trace:
@@ -348,6 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--detect-anomaly", action="store_true",
                      help="raise with op provenance on the first NaN/Inf "
                           "in a forward value or backward gradient")
+    run.add_argument("--no-fused", action="store_true",
+                     help="disable the fused autograd kernels (packed-gate "
+                          "GRU, fused softmax/LayerNorm) and run the "
+                          "composed reference ops instead — see "
+                          "docs/performance.md")
     run.add_argument("--profile", action="store_true",
                      help="op-level autograd profiling: per-op wall time, "
                           "FLOP estimates, forward/backward split, "

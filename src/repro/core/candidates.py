@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..align.similarity import cosine_similarity_matrix, topk_indices
+from ..align.similarity import chunked_cosine_topk
 from ..obs import metrics, trace
 
 _SET_SIZE_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 250, 1000)
@@ -26,8 +26,9 @@ def gen_candidates(embeddings1: np.ndarray, embeddings2: np.ndarray,
         raise ValueError("k must be >= 1")
     start = time.perf_counter()
     with trace.span("candidates/gen", k=k):
-        similarity = cosine_similarity_matrix(embeddings1, embeddings2)
-        result = topk_indices(similarity, k)
+        # Blocked cosine top-k: identical indices to materialising the
+        # full (n1, n2) similarity matrix, but bounded peak memory.
+        result, _ = chunked_cosine_topk(embeddings1, embeddings2, k)
     metrics.counter("candidates.generations").inc()
     metrics.histogram("candidates.gen_seconds").observe(
         time.perf_counter() - start

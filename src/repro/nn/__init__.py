@@ -6,7 +6,7 @@ LayerNorm, multi-head attention, BiGRU, transformer encoder) and Adam/SGD
 optimisers.
 """
 
-from . import functional
+from . import functional, kernels
 from .attention import GlobalAttentionPooling, MultiHeadSelfAttention
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear
 from .module import Module, ModuleList, Parameter
@@ -26,7 +26,7 @@ from .tensor import (
 from .transformer import TransformerEncoder, TransformerEncoderLayer
 
 __all__ = [
-    "functional",
+    "functional", "kernels",
     "Tensor", "no_grad", "concatenate", "stack", "where", "zeros", "ones",
     "DEFAULT_DTYPE",
     "Module", "ModuleList", "Parameter",

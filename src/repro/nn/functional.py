@@ -10,11 +10,24 @@ from typing import Optional
 
 import numpy as np
 
+from .kernels import (
+    fused_cross_entropy,
+    fused_log_softmax,
+    fused_softmax,
+    kernel_active,
+)
 from .tensor import Tensor, concatenate, where  # noqa: F401 (re-export)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically-stable softmax along ``axis``."""
+    """Numerically-stable softmax along ``axis``.
+
+    Routes to the fused single-node kernel when active (see
+    :mod:`repro.nn.kernels`); the composed path below is the reference
+    the kernel is validated against.
+    """
+    if kernel_active("softmax"):
+        return fused_softmax(x, axis=axis)
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -22,6 +35,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable log-softmax along ``axis``."""
+    if kernel_active("log_softmax"):
+        return fused_log_softmax(x, axis=axis)
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
@@ -39,6 +54,9 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     ignore_index:
         Target value whose rows contribute zero loss (e.g. padding).
     """
+    if kernel_active("cross_entropy"):
+        return fused_cross_entropy(logits, targets,
+                                   ignore_index=ignore_index)
     targets = np.asarray(targets)
     log_probs = log_softmax(logits, axis=-1)
     n = logits.shape[0]

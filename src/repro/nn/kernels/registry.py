@@ -1,0 +1,163 @@
+"""Registry and activation switch for fused autograd kernels.
+
+A *fused kernel* collapses a composed autograd subgraph (many small
+``Tensor`` ops, each with Python dispatch overhead) into a **single
+autograd node** with a hand-derived analytic backward.  Each kernel is
+registered here under a stable name so that
+
+* every fused path can be toggled independently (``use_kernels`` with an
+  explicit subset) and diffed against the composed reference,
+* callers (``repro.nn.functional``, ``repro.nn.rnn``, ``LayerNorm``)
+  stay agnostic: they ask :func:`kernel_active` and fall back to the
+  reference implementation when the kernel is off.
+
+Nothing is fused by default — the registry is opt-in via the
+:func:`use_kernels` context (or ``SDEAConfig.fused_kernels``, which the
+model wraps around fit/evaluate).  This keeps the abstract shape
+interpreter, graph checker and anomaly sanitizer on the reference path
+unless a caller deliberately opts in.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, FrozenSet, Iterator, Optional, Tuple
+
+from .alloc import tune_allocator
+
+__all__ = [
+    "register_kernel", "registered_kernels", "get_kernel",
+    "use_kernels", "kernel_active", "kernel_mode", "active_kernel_names",
+    "KERNEL_MODES",
+]
+
+_KERNELS: Dict[str, Callable] = {}
+
+#: Backward flavours a fused kernel can run in.
+#:
+#: * ``"exact"`` — the backward replays the float operations of the
+#:   composed reference graph in the engine's dispatch order, so
+#:   gradients (and therefore whole training trajectories) are
+#:   bit-for-bit identical to the unfused path.  This is the default and
+#:   what ``SDEAConfig.fused_kernels`` uses.
+#: * ``"fast"`` — the backward uses the hand-derived closed form
+#:   (fewer passes over memory).  Gradients agree with the reference to
+#:   float64 rounding (validated to 1e-6 by the gradcheck suite), not
+#:   bitwise.  This is the peak-throughput mode the benchmarks measure.
+#:
+#: Forward arithmetic is bitwise-identical to the reference in *both*
+#: modes.
+KERNEL_MODES = ("exact", "fast")
+
+# Thread-local activation: a fused fit on one thread must not flip the
+# engine under a reference fit on another.
+_state = threading.local()
+
+
+def _active_set() -> Optional[FrozenSet[str]]:
+    return getattr(_state, "active", None)
+
+
+def _active_mode() -> str:
+    return getattr(_state, "mode", "exact")
+
+
+def register_kernel(name: str) -> Callable[[Callable], Callable]:
+    """Class/function decorator registering a fused kernel under ``name``.
+
+    Re-registration under the same name is an error — kernel names are a
+    public toggle surface (docs, config) and must stay unambiguous.
+    """
+    def decorate(fn: Callable) -> Callable:
+        if name in _KERNELS:
+            raise ValueError(f"kernel {name!r} is already registered")
+        _KERNELS[name] = fn
+        return fn
+    return decorate
+
+
+def registered_kernels() -> Tuple[str, ...]:
+    """Names of all registered fused kernels, sorted."""
+    return tuple(sorted(_KERNELS))
+
+
+def get_kernel(name: str) -> Callable:
+    """The registered kernel callable (KeyError with choices if unknown)."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; registered: {registered_kernels()}"
+        ) from None
+
+
+class use_kernels:
+    """Context manager activating fused kernels on the current thread.
+
+    ``use_kernels()`` activates every registered kernel;
+    ``use_kernels("softmax", "layer_norm")`` activates a subset (useful
+    for bisecting a numeric diff down to one kernel).  Contexts nest;
+    the inner context wins and the previous activation is restored on
+    exit.  ``use_kernels(enabled=False)`` forces the reference path even
+    inside an active context.
+
+    ``mode`` selects the backward flavour (see :data:`KERNEL_MODES`):
+    ``"exact"`` (default) is bitwise-reproducible against the composed
+    reference graph, ``"fast"`` is the closed-form peak-throughput
+    backward.
+    """
+
+    def __init__(self, *names: str, enabled: bool = True,
+                 mode: str = "exact"):
+        for name in names:
+            get_kernel(name)  # fail fast on typos
+        if mode not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel mode {mode!r}; choose from {KERNEL_MODES}")
+        self._names = frozenset(names) if names else None
+        self._enabled = enabled
+        self._mode = mode
+        self._prev: Optional[FrozenSet[str]] = None
+        self._prev_mode: str = "exact"
+
+    def __enter__(self) -> "use_kernels":
+        self._prev = _active_set()
+        self._prev_mode = _active_mode()
+        if not self._enabled:
+            _state.active = frozenset()
+        else:
+            # The fused path ships with its allocator configuration
+            # (glibc mmap/trim thresholds); applied once per process.
+            tune_allocator()
+            if self._names is None:
+                _state.active = frozenset(_KERNELS)
+            else:
+                _state.active = self._names
+        _state.mode = self._mode
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _state.active = self._prev
+        _state.mode = self._prev_mode
+
+
+def kernel_active(name: str) -> bool:
+    """Whether the named fused kernel is active on this thread."""
+    active = _active_set()
+    return active is not None and name in active
+
+
+def kernel_mode() -> str:
+    """The backward mode of the innermost ``use_kernels`` context.
+
+    Kernels consult this at *forward* time (the backward closure captures
+    whatever mode was active when the node was built).  Returns
+    ``"exact"`` outside any context.
+    """
+    return _active_mode()
+
+
+def active_kernel_names() -> Iterator[str]:
+    """Names currently active (empty when no context is open)."""
+    active = _active_set()
+    return iter(sorted(active)) if active else iter(())

@@ -14,6 +14,7 @@ import numpy as np
 from . import functional as F
 from . import init
 from ..analysis.shapes.spec import shape_spec
+from .kernels import fused_layer_norm, kernel_active
 from .module import Module, ModuleList, Parameter
 from .tensor import Tensor
 
@@ -82,6 +83,8 @@ class LayerNorm(Module):
 
     @shape_spec(x="* dim", returns="* dim")
     def forward(self, x: Tensor) -> Tensor:
+        if kernel_active("layer_norm"):
+            return fused_layer_norm(x, self.gamma, self.beta, eps=self.eps)
         mean = x.mean(axis=-1, keepdims=True)
         centered = x - mean
         var = (centered * centered).mean(axis=-1, keepdims=True)

@@ -14,18 +14,25 @@ directions").
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from . import init
 from ..analysis.shapes.spec import shape_spec
+from .kernels import fused_gru_cell, fused_gru_sequence, kernel_active
 from .module import Module, Parameter
-from .tensor import Tensor, stack, where
+from .tensor import DEFAULT_DTYPE, Tensor, concatenate, stack, where
 
 
 class GRUCell(Module):
-    """Single GRU step; processes one timestep of a batch."""
+    """Single GRU step; processes one timestep of a batch.
+
+    Parameters are stored per-gate (``w_r``/``u_r``/``b_r``, ...), which
+    keeps state dicts and tests readable; the opt-in fused path (see
+    :mod:`repro.nn.kernels`) packs them into ``(D_in, 3H)`` / ``(H, 3H)``
+    matrices on the fly via :meth:`packed_gates`.
+    """
 
     def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
         super().__init__()
@@ -34,17 +41,39 @@ class GRUCell(Module):
         # Gate weights packed per-gate for clarity over speed.
         self.w_r = Parameter(init.xavier_uniform((input_dim, hidden_dim), rng))
         self.u_r = Parameter(init.xavier_uniform((hidden_dim, hidden_dim), rng))
-        self.b_r = Parameter(np.zeros(hidden_dim))
+        self.b_r = Parameter(np.zeros(hidden_dim, dtype=DEFAULT_DTYPE))
         self.w_z = Parameter(init.xavier_uniform((input_dim, hidden_dim), rng))
         self.u_z = Parameter(init.xavier_uniform((hidden_dim, hidden_dim), rng))
-        self.b_z = Parameter(np.zeros(hidden_dim))
+        self.b_z = Parameter(np.zeros(hidden_dim, dtype=DEFAULT_DTYPE))
         self.w_h = Parameter(init.xavier_uniform((input_dim, hidden_dim), rng))
         self.u_h = Parameter(init.xavier_uniform((hidden_dim, hidden_dim), rng))
-        self.b_h = Parameter(np.zeros(hidden_dim))
+        self.b_h = Parameter(np.zeros(hidden_dim, dtype=DEFAULT_DTYPE))
+
+    def packed_gates(self) -> Tuple[Tensor, Tensor, Tensor]:
+        """Packed ``(w, u, b)`` gate tensors in ``[r | z | c]`` order.
+
+        Built with autograd :func:`~repro.nn.tensor.concatenate`, so
+        gradients flow back to the per-gate parameters through the
+        concat's split backward — three extra nodes per *sequence*, not
+        per step.
+        """
+        w = concatenate([self.w_r, self.w_z, self.w_h], axis=1)
+        u = concatenate([self.u_r, self.u_z, self.u_h], axis=1)
+        b = concatenate([self.b_r, self.b_z, self.b_h], axis=0)
+        return w, u, b
 
     @shape_spec(x="b input_dim", h_prev="b hidden_dim", returns="b hidden_dim")
-    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
-        """Advance one step: ``(B, D_in), (B, D_h) -> (B, D_h)``."""
+    def forward(self, x: Tensor, h_prev: Tensor,
+                packed: Optional[Tuple[Tensor, Tensor, Tensor]] = None
+                ) -> Tensor:
+        """Advance one step: ``(B, D_in), (B, D_h) -> (B, D_h)``.
+
+        ``packed`` lets a caller running many steps (the GRU loop) reuse
+        one :meth:`packed_gates` result on the fused path.
+        """
+        if kernel_active("gru_cell"):
+            w, u, b = packed if packed is not None else self.packed_gates()
+            return fused_gru_cell(x, h_prev, w, u, b)
         r = (x @ self.w_r + h_prev @ self.u_r + self.b_r).sigmoid()
         z = (x @ self.w_z + h_prev @ self.u_z + self.b_z).sigmoid()
         candidate = (x @ self.w_h + (r * h_prev) @ self.u_h + self.b_h).tanh()
@@ -83,12 +112,20 @@ class GRU(Module):
         batch, steps, _ = x.shape
         if mask is None:
             mask = np.ones((batch, steps), dtype=bool)
+        if kernel_active("gru_sequence"):
+            # Whole recurrence as one autograd node: T steps of ~30 ops
+            # collapse to a single hand-derived backward-through-time.
+            w, u, b = self.cell.packed_gates()
+            return fused_gru_sequence(x, mask, w, u, b,
+                                      reverse=self.reverse)
         order = range(steps - 1, -1, -1) if self.reverse else range(steps)
-        h = Tensor(np.zeros((batch, self.hidden_dim)))
+        h = Tensor(np.zeros((batch, self.hidden_dim), dtype=DEFAULT_DTYPE))
+        packed = (self.cell.packed_gates()
+                  if kernel_active("gru_cell") else None)
         outputs: list[Optional[Tensor]] = [None] * steps
         for t in order:
             x_t = x[:, t, :]
-            h_new = self.cell(x_t, h)
+            h_new = self.cell(x_t, h, packed=packed)
             step_mask = mask[:, t:t + 1]
             h = where(step_mask, h_new, h)
             outputs[t] = h

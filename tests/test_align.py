@@ -227,3 +227,107 @@ class TestBootstrapCI:
                 [1, 3, 7, 15, 40], metric, seed=2
             )
             assert 0.0 <= lower <= estimate <= upper <= 1.0
+
+
+class TestChunkedCosineTopk:
+    """chunked_cosine_topk must match the unchunked path exactly."""
+
+    def _reference(self, a, b, k):
+        sim = cosine_similarity_matrix(a, b)
+        idx = topk_indices(sim, k)
+        return idx, np.take_along_axis(sim, idx, axis=1)
+
+    @pytest.mark.parametrize("budget_rows", [1, 3, 1000])
+    def test_matches_unchunked(self, rng, budget_rows):
+        from repro.align import chunked_cosine_topk
+        a = rng.normal(size=(23, 9))
+        b = rng.normal(size=(17, 9))
+        budget = budget_rows * b.shape[0] * a.itemsize
+        idx, scores = chunked_cosine_topk(a, b, 5,
+                                          memory_budget_bytes=budget)
+        ref_idx, ref_scores = self._reference(a, b, 5)
+        np.testing.assert_array_equal(idx, ref_idx)
+        # Tiny blocks may take BLAS's GEMV path, whose summation order
+        # differs from GEMM by ~1 ulp; rankings are unaffected.
+        np.testing.assert_allclose(scores, ref_scores, rtol=1e-12)
+
+    def test_single_chunk_is_bitwise(self, rng):
+        from repro.align import chunked_cosine_topk
+        a = rng.normal(size=(23, 9))
+        b = rng.normal(size=(17, 9))
+        idx, scores = chunked_cosine_topk(a, b, 5)  # default budget: 1 chunk
+        ref_idx, ref_scores = self._reference(a, b, 5)
+        np.testing.assert_array_equal(idx, ref_idx)
+        np.testing.assert_array_equal(scores, ref_scores)
+
+    def test_k_clipped_to_pool(self, rng):
+        from repro.align import chunked_cosine_topk
+        idx, scores = chunked_cosine_topk(rng.normal(size=(4, 3)),
+                                          rng.normal(size=(2, 3)), 10)
+        assert idx.shape == scores.shape == (4, 2)
+
+    def test_bad_budget_rejected(self, rng):
+        from repro.align import chunked_cosine_topk
+        with pytest.raises(ValueError, match="budget"):
+            chunked_cosine_topk(rng.normal(size=(4, 3)),
+                                rng.normal(size=(4, 3)), 2,
+                                memory_budget_bytes=0)
+
+
+class TestCslsPartitionRegression:
+    """The np.partition top-k means must equal the old full-sort output."""
+
+    def _old_csls(self, a, b, k):
+        # Previous implementation: two full sorts of the cosine matrix.
+        from repro.align import cosine_similarity_matrix as cos
+        cosine = cos(a, b)
+        k_rows = min(k, cosine.shape[1])
+        k_cols = min(k, cosine.shape[0])
+        r_rows = np.sort(cosine, axis=1)[:, -k_rows:].mean(axis=1)
+        r_cols = np.sort(cosine, axis=0)[-k_cols:, :].mean(axis=0)
+        return 2.0 * cosine - r_rows[:, None] - r_cols[None, :]
+
+    @pytest.mark.parametrize("shape,k", [((12, 9), 4), ((5, 20), 10),
+                                         ((6, 6), 50)])
+    def test_bitwise_equal_to_full_sort(self, rng, shape, k):
+        from repro.align import csls_similarity_matrix
+        a = rng.normal(size=(shape[0], 7))
+        b = rng.normal(size=(shape[1], 7))
+        np.testing.assert_array_equal(csls_similarity_matrix(a, b, k=k),
+                                      self._old_csls(a, b, k))
+
+
+class TestSimilarityInstrumentation:
+    """Hot similarity paths must report obs counters/histograms."""
+
+    @pytest.fixture()
+    def live_metrics(self):
+        from repro.obs.metrics import Registry, use_registry
+        with use_registry(Registry()) as registry:
+            yield registry
+
+    def test_euclidean_counters(self, rng, live_metrics):
+        result = euclidean_distance_matrix(rng.normal(size=(3, 4)),
+                                           rng.normal(size=(5, 4)))
+        assert live_metrics.counter("similarity.euclidean.calls").value() == 1
+        assert live_metrics.counter(
+            "similarity.euclidean.cells").value() == result.size
+        assert live_metrics.histogram(
+            "similarity.euclidean.seconds").count() == 1
+
+    def test_csls_counters(self, rng, live_metrics):
+        from repro.align import csls_similarity_matrix
+        csls_similarity_matrix(rng.normal(size=(4, 3)),
+                               rng.normal(size=(6, 3)), k=2)
+        assert live_metrics.counter("similarity.csls.calls").value() == 1
+        assert live_metrics.histogram("similarity.csls.seconds").count() == 1
+
+    def test_chunked_topk_counts_chunks(self, rng, live_metrics):
+        from repro.align import chunked_cosine_topk
+        a, b = rng.normal(size=(8, 3)), rng.normal(size=(6, 3))
+        chunked_cosine_topk(a, b, 2,
+                            memory_budget_bytes=2 * b.shape[0] * a.itemsize)
+        assert live_metrics.counter(
+            "similarity.chunked_topk.chunks").value() == 4
+        assert live_metrics.counter(
+            "similarity.chunked_topk.cells").value() == 48
