@@ -1,7 +1,8 @@
 # Convenience targets for the SDEA reproduction.
 
 .PHONY: install test lint shapecheck check bench bench-hot bench-hot-smoke \
-	bench-compare bench-compare-smoke report obs-demo profile-demo clean
+	bench-compare bench-compare-smoke report obs-demo obs-check \
+	profile-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,8 +20,9 @@ shapecheck:
 	PYTHONPATH=src python -m repro.cli shape-check
 
 # The full gate: lint clean, shapes clean, hot-path bench smoke,
-# committed bench baseline structurally valid, tests.
-check: lint shapecheck bench-hot-smoke bench-compare-smoke test
+# committed bench baseline structurally valid, telemetry pipeline
+# end-to-end, tests.
+check: lint shapecheck bench-hot-smoke bench-compare-smoke obs-check test
 
 # Tiny instrumented run: prints the span report and writes a run record
 # under runs/ (inspect it with `python -m repro.cli obs`).
@@ -28,6 +30,12 @@ obs-demo:
 	PYTHONPATH=src python -m repro.cli run --dataset srprs/dbp_yg \
 		--method jape-stru --trace
 	PYTHONPATH=src python -m repro.cli obs --no-metrics
+
+# Telemetry pipeline end-to-end: two tiny seeded runs with health rules
+# armed, then assert bitwise-equal metrics, well-formed stream/prom
+# files and zero health alerts (part of `make check`).
+obs-check:
+	python benchmarks/obs_check.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

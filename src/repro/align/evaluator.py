@@ -14,7 +14,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..kg.pair import KGPair, Link
-from ..obs import metrics, trace
+from ..obs import metrics, telemetry, trace
 from .matching import stable_matching
 from .metrics import (
     AlignmentMetrics,
@@ -82,12 +82,14 @@ def evaluate_embeddings(embeddings1: np.ndarray, embeddings2: np.ndarray,
                 embeddings1[sources], embeddings2[targets_ids], k=csls_k
             )
         alignment_metrics = evaluate_similarity(similarity, targets)
-    metrics.histogram("eval.ranking_seconds").observe(
-        time.perf_counter() - start
-    )
+    ranking_seconds = time.perf_counter() - start
+    metrics.histogram("eval.ranking_seconds").observe(ranking_seconds)
     metrics.counter("eval.rankings").inc()
     metrics.gauge("eval.candidate_set_size").set(similarity.shape[1])
     metrics.gauge("eval.hits_at_1").set(alignment_metrics.hits_at_1)
+    telemetry.emit("eval", hits_at_1=alignment_metrics.hits_at_1,
+                   hits_at_10=alignment_metrics.hits_at_10,
+                   mrr=alignment_metrics.mrr, seconds=ranking_seconds)
     stable = None
     if with_stable_matching:
         with trace.span("evaluate/stable_matching"):

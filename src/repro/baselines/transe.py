@@ -17,6 +17,7 @@ OpenEA's implementations.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -25,6 +26,7 @@ import numpy as np
 from ..kg.pair import AlignmentSplit, KGPair
 from ..nn import Adam, Embedding, Module
 from ..nn import functional as F
+from ..obs import telemetry
 from .base import Aligner, links_arrays
 
 
@@ -102,7 +104,10 @@ class TransEAligner(Aligner):
                                        config.dim, rng)
         optimizer = Adam(self._model.parameters(), lr=config.lr)
 
-        for _ in range(config.epochs):
+        stream_live = telemetry.is_active()
+        for epoch in range(config.epochs):
+            epoch_start = time.perf_counter()
+            epoch_loss, epoch_batches = 0.0, 0
             order = rng.permutation(len(triples_arr))
             for start in range(0, len(order), config.batch_size):
                 batch = triples_arr[order[start:start + config.batch_size]]
@@ -128,7 +133,17 @@ class TransEAligner(Aligner):
                 optimizer.zero_grad()
                 loss.backward()
                 optimizer.step()
+                if stream_live:
+                    epoch_loss += loss.item()
+                    epoch_batches += 1
             self._normalize_entities()
+            if stream_live:
+                telemetry.emit(
+                    "epoch", phase="transe", epoch=epoch,
+                    loss=epoch_loss / max(epoch_batches, 1),
+                    seconds=time.perf_counter() - epoch_start,
+                    lr=optimizer.lr,
+                )
 
     def _normalize_entities(self) -> None:
         """TransE constrains entity embeddings to the unit sphere.

@@ -5,7 +5,14 @@ Usage (installed as the ``repro`` console script)::
     repro datasets                      # list generated benchmarks
     repro stats    --dataset dbp15k/zh_en
     repro run      --dataset dbp15k/zh_en --method sdea --stable --trace
+    repro run      --dataset srprs/dbp_yg --method jape-stru --health-gate
     repro obs                           # inspect the latest run record
+    repro obs list                      # one row per run record
+    repro obs diff                      # latest two runs, per-metric deltas
+    repro obs compare a b c             # N-way results table
+    repro obs watch                     # tail the live telemetry stream
+    repro obs prune --keep 20           # cap retained run records
+    repro obs rules                     # health-rule check vocabulary
     repro obs --chrome-trace out.json   # span data -> Perfetto trace
     repro profile --method sdea         # op-level profile + chrome trace
     repro table    --table 3            # regenerate a paper table
@@ -69,6 +76,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_health(health: Optional[dict]) -> None:
+    if not health:
+        return
+    warn = health.get("alerts_warn", 0)
+    fail = health.get("alerts_fail", 0)
+    print(f"health: {len(health.get('rules', []))} rules, "
+          f"{warn} warn / {fail} fail alerts")
+    for alert in health.get("alerts", []):
+        severity = str(alert.get("severity", "?")).upper()
+        where = alert.get("provenance", "?")
+        print(f"  [{severity}] {alert.get('rule', '?')}: "
+              f"{alert.get('message', '')} (at {where})")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     pair = build_dataset(args.dataset)
     split = pair.split()
@@ -85,12 +106,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         from .nn.kernels import use_kernels
         kernel_ctx = use_kernels()
+    # --health-gate arms the rule engine (defaults when no rules file);
+    # --health-rules alone evaluates + reports without gating the exit.
+    rule_texts: Optional[List[str]] = None
+    if args.health_gate or args.health_rules:
+        rule_texts = []
+        if args.health_rules:
+            from .obs.health import RuleError, load_rules_toml
+            try:
+                rule_texts = [r.text for r in
+                              load_rules_toml(args.health_rules)]
+            except (OSError, RuleError) as exc:
+                print(f"cannot load health rules: {exc}", file=sys.stderr)
+                return 2
+    telemetry_on = args.telemetry or rule_texts is not None
+    from .analysis.anomaly import AnomalyError
     # Session first, anomaly second: the anomaly hooks must stack on top
     # of the profiler's engine hooks (both patch Tensor._make_child).
-    with obs.session(runs_dir=args.runs_dir,
-                     profile=args.profile) as sess, anomaly_ctx, kernel_ctx:
-        result = run_experiment(args.method, pair, split,
-                                with_stable_matching=args.stable)
+    with obs.session(runs_dir=args.runs_dir, profile=args.profile,
+                     telemetry=telemetry_on,
+                     health_rules=rule_texts) as sess, \
+            anomaly_ctx, kernel_ctx:
+        try:
+            result = run_experiment(args.method, pair, split,
+                                    with_stable_matching=args.stable)
+        except AnomalyError as exc:
+            if not args.health_gate:
+                raise
+            # The runner converted the anomaly into a fail alert (with
+            # the op's creation-stack provenance) before re-raising.
+            _print_health(sess.last_health)
+            if sess.last_stream_path is not None:
+                print(f"telemetry stream: {sess.last_stream_path}")
+            print(f"run aborted: {exc}", file=sys.stderr)
+            return 1
         if args.trace:
             print()
             print(sess.tracer.report())
@@ -105,10 +154,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"peak {result.peak_tensor_bytes} live tensor bytes")
     if result.record_path is not None:
         print(f"run record: {result.record_path}")
+    if telemetry_on and sess.last_stream_path is not None:
+        print(f"telemetry stream: {sess.last_stream_path}")
+    _print_health(result.health)
+    if args.health_gate and result.health \
+            and result.health.get("alerts_fail", 0):
+        print("health gate: FAIL", file=sys.stderr)
+        return 1
     return 0
 
 
-def _cmd_obs(args: argparse.Namespace) -> int:
+def _obs_show(args: argparse.Namespace) -> int:
     path = Path(args.record) if args.record else obs.latest_record(args.runs_dir)
     if path is None:
         print(f"no run records under {args.runs_dir!r}; "
@@ -137,6 +193,169 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     print(obs.format_record(record, with_spans=not args.no_spans,
                             with_metrics=not args.no_metrics))
     return 0
+
+
+def _resolve_record(target: str, runs_dir: str) -> Path:
+    """A record target: a path, a run id, or a record file name."""
+    path = Path(target)
+    if path.exists():
+        return path
+    matches = [p for p in obs.list_records(runs_dir)
+               if p.stem == target or p.name == target]
+    if not matches:
+        raise FileNotFoundError(
+            f"no run record {target!r} under {runs_dir!r} "
+            "(pass a path or a run id from `repro obs list`)"
+        )
+    return matches[-1]
+
+
+def _summary_dict(summary) -> dict:
+    return {
+        "run_id": summary.run_id,
+        "path": str(summary.path),
+        "method": summary.method,
+        "dataset": summary.dataset,
+        "schema_version": summary.schema_version,
+        "results": summary.results,
+        "timing": summary.timing,
+        "peak_tensor_bytes": summary.peak_tensor_bytes,
+        "alerts_warn": summary.alerts_warn,
+        "alerts_fail": summary.alerts_fail,
+        "stream": str(summary.stream) if summary.stream else None,
+        "warnings": summary.warnings,
+    }
+
+
+def _obs_list(args: argparse.Namespace) -> int:
+    from .obs import compare as compare_mod
+    summaries = compare_mod.list_runs(args.runs_dir)
+    if args.format == "json":
+        import json
+        print(json.dumps([_summary_dict(s) for s in summaries], indent=2))
+    else:
+        print(compare_mod.format_run_list(summaries))
+    return 0
+
+
+def _obs_diff(args: argparse.Namespace) -> int:
+    from .obs import compare as compare_mod
+    targets = list(args.targets)
+    if not targets:
+        records = obs.list_records(args.runs_dir)
+        if len(records) < 2:
+            print(f"need two run records under {args.runs_dir!r} to diff",
+                  file=sys.stderr)
+            return 1
+        targets = [str(records[-2]), str(records[-1])]
+    if len(targets) != 2:
+        print("obs diff takes exactly two records (or none for the "
+              "latest two)", file=sys.stderr)
+        return 2
+    try:
+        path_a = _resolve_record(targets[0], args.runs_dir)
+        path_b = _resolve_record(targets[1], args.runs_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    diff = compare_mod.diff_records(path_a, path_b)
+    if args.format == "json":
+        print(compare_mod.format_diff_json(diff))
+    elif args.format == "markdown":
+        print(compare_mod.format_diff_markdown(diff))
+    else:
+        print(compare_mod.format_diff_text(diff))
+    return 0
+
+
+def _obs_compare(args: argparse.Namespace) -> int:
+    from .obs import compare as compare_mod
+    try:
+        paths = [_resolve_record(t, args.runs_dir) for t in args.targets] \
+            or obs.list_records(args.runs_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if not paths:
+        print(f"no run records under {args.runs_dir!r}", file=sys.stderr)
+        return 1
+    summaries = compare_mod.compare_records(paths)
+    if args.format == "json":
+        import json
+        print(json.dumps([_summary_dict(s) for s in summaries], indent=2))
+    else:
+        print(compare_mod.format_compare_table(summaries))
+    return 0
+
+
+def _obs_watch(args: argparse.Namespace) -> int:
+    from .obs import telemetry as telemetry_mod
+    stream = Path(args.stream) if args.stream \
+        else telemetry_mod.latest_stream(args.runs_dir)
+    if stream is None or not stream.exists():
+        print(f"no telemetry stream under {args.runs_dir!r}; run with "
+              "`repro run --telemetry` (or --health-gate) first",
+              file=sys.stderr)
+        return 1
+    if args.once:
+        events = telemetry_mod.read_stream(stream)
+        print(f"({stream})")
+        print(telemetry_mod.format_status_line(
+            telemetry_mod.stream_status(events)))
+        return 0
+    print(f"watching {stream}  (ctrl-c to stop)")
+    status: dict = {}
+    events: List[dict] = []
+    try:
+        for event in telemetry_mod.iter_stream(
+                stream, poll_seconds=args.interval, timeout=args.timeout):
+            events.append(event)
+            status = telemetry_mod.stream_status(events)
+            line = telemetry_mod.format_status_line(status)
+            print(f"\r\x1b[2K{line}", end="", flush=True)
+    except KeyboardInterrupt:
+        pass
+    print()
+    return 0
+
+
+def _obs_prune(args: argparse.Namespace) -> int:
+    from .obs import compare as compare_mod
+    if args.keep is None:
+        print("obs prune needs --keep N", file=sys.stderr)
+        return 2
+    removed = compare_mod.prune_runs(args.runs_dir, keep=args.keep)
+    print(f"pruned {len(removed)} files "
+          f"(keeping the newest {args.keep} records)")
+    for path in removed:
+        print(f"  removed {path}")
+    return 0
+
+
+def _obs_rules(_: argparse.Namespace) -> int:
+    from .obs.health import DEFAULT_RULES, format_rule_table
+    print(format_rule_table())
+    print()
+    print("default rules (armed by --health-gate when no rules file is "
+          "given):")
+    for rule in DEFAULT_RULES:
+        print(f"  {rule}")
+    return 0
+
+
+_OBS_ACTIONS = {
+    "show": _obs_show,
+    "list": _obs_list,
+    "diff": _obs_diff,
+    "compare": _obs_compare,
+    "watch": _obs_watch,
+    "prune": _obs_prune,
+    "rules": _obs_rules,
+}
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    return _OBS_ACTIONS[args.action](args)
 
 
 _TABLES = {
@@ -364,14 +583,40 @@ def build_parser() -> argparse.ArgumentParser:
                           "chrome trace next to the run record")
     run.add_argument("--runs-dir", default=obs.DEFAULT_RUNS_DIR,
                      help="directory for structured run records")
+    run.add_argument("--telemetry", action="store_true",
+                     help="stream live epoch/eval events to a tail-able "
+                          "JSONL file next to the run record (plus a "
+                          "Prometheus .prom exposition file); watch with "
+                          "`repro obs watch`")
+    run.add_argument("--health-gate", action="store_true",
+                     help="evaluate health rules online (defaults: "
+                          "loss/grad_norm nonfinite + grad spike) and "
+                          "exit nonzero on any fail alert; implies "
+                          "--telemetry")
+    run.add_argument("--health-rules", default=None, metavar="RULES.toml",
+                     help="TOML file with a top-level `rules` string "
+                          "array (see `repro obs rules`); implies "
+                          "--telemetry")
     run.set_defaults(func=_cmd_run)
 
     obs_cmd = sub.add_parser(
-        "obs", help="pretty-print a structured run record (default: latest)"
+        "obs",
+        help="run observability: show/list/diff/compare/watch/prune "
+             "records and live telemetry streams",
     )
+    obs_cmd.add_argument("action", nargs="?", default="show",
+                         choices=sorted(_OBS_ACTIONS),
+                         help="show: pretty-print one record (default); "
+                              "list: one row per record; diff: per-metric "
+                              "deltas between two records; compare: N-way "
+                              "table; watch: tail the live stream; prune: "
+                              "cap retained records; rules: health-check "
+                              "vocabulary")
+    obs_cmd.add_argument("targets", nargs="*",
+                         help="record paths or run ids (diff/compare)")
     obs_cmd.add_argument("--runs-dir", default=obs.DEFAULT_RUNS_DIR)
     obs_cmd.add_argument("--record", default=None,
-                         help="path to a specific run-record JSON")
+                         help="path to a specific run-record JSON (show)")
     obs_cmd.add_argument("--no-spans", action="store_true",
                          help="omit the span tree")
     obs_cmd.add_argument("--no-metrics", action="store_true",
@@ -380,6 +625,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="convert the record's span data to a "
                               "catapult/Perfetto trace file instead of "
                               "printing it")
+    obs_cmd.add_argument("--format", choices=("text", "json", "markdown"),
+                         default="text",
+                         help="list/diff/compare output format")
+    obs_cmd.add_argument("--keep", type=int, default=None,
+                         help="prune: number of newest records to keep")
+    obs_cmd.add_argument("--stream", default=None,
+                         help="watch: stream file (default: most recently "
+                              "modified *-stream.jsonl under --runs-dir)")
+    obs_cmd.add_argument("--once", action="store_true",
+                         help="watch: print one status line and exit")
+    obs_cmd.add_argument("--interval", type=float, default=0.5,
+                         help="watch: poll interval in seconds")
+    obs_cmd.add_argument("--timeout", type=float, default=None,
+                         help="watch: give up after this many seconds "
+                              "without a stream_end event")
     obs_cmd.set_defaults(func=_cmd_obs)
 
     profile = sub.add_parser(

@@ -25,7 +25,7 @@ from ..align.evaluator import evaluate_embeddings
 from ..analysis.anomaly import detect_anomaly
 from ..kg.pair import Link
 from ..nn import Adam, BestCheckpoint, Tensor, clip_grad_norm, no_grad
-from ..obs import events, metrics, trace
+from ..obs import events, metrics, telemetry, trace
 from .attribute_module import AttributeEmbeddingModule, SequenceEncoder, encode_all
 from .candidates import gen_candidates, sample_negatives
 from .config import SDEAConfig
@@ -67,11 +67,20 @@ class TrainLog:
                                                            phase=phase)
         events.debug("epoch", phase=phase, epoch=epoch, loss=loss,
                      seconds=seconds, lr=lr)
+        # Live stream (no-op without a telemetry session): the epoch
+        # event is what the health rules and `repro obs watch` consume.
+        fields = {"phase": phase, "epoch": epoch, "loss": loss,
+                  "seconds": seconds, "lr": lr}
+        grad_norm = metrics.gauge("optim.grad_norm").value()
+        if grad_norm is not None:
+            fields["grad_norm"] = grad_norm
+        telemetry.emit("epoch", **fields)
 
     def record_validation(self, phase: str, epoch: int, hits1: float) -> None:
         self.valid_hits1.append(hits1)
         metrics.gauge("trainer.valid_hits1").set(hits1, phase=phase)
         events.debug("validation", phase=phase, epoch=epoch, hits1=hits1)
+        telemetry.emit("validation", phase=phase, epoch=epoch, hits1=hits1)
 
 
 def _batched(indices: np.ndarray, batch_size: int):

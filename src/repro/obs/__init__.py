@@ -14,6 +14,14 @@ Four parts (see ``docs/observability.md``):
   live-tensor bytes, forward/backward split.
 * :mod:`repro.obs.chrometrace` — catapult-JSON export of spans + op
   events, viewable in Perfetto (``repro obs --chrome-trace``).
+* :mod:`repro.obs.telemetry` — live, tail-able JSONL event stream with
+  periodic metrics snapshots and a Prometheus text exposition file
+  (``obs.session(telemetry=True)`` / ``repro obs watch``).
+* :mod:`repro.obs.health` — declarative health rules
+  (``loss.nonfinite``, ``hits@1.drop(vs=baseline, abs=0.02)``, ...)
+  evaluated online against the stream; ``repro run --health-gate``.
+* :mod:`repro.obs.compare` — cross-run analytics over ``runs/``
+  (``repro obs list / diff / compare / prune``).
 
 Everything is a no-op until a :func:`session` is entered (or a live
 registry/tracer/event log is installed explicitly), so instrumented hot
@@ -36,7 +44,7 @@ process-global instances::
     events.info("early_stop", phase="attr", epoch=epoch)
 """
 
-from . import events, metrics
+from . import compare, events, health, metrics, telemetry
 from . import tracing as trace
 from .chrometrace import (
     build_chrome_trace,
@@ -65,7 +73,24 @@ from .runrecord import (
     version_stamp,
     write_record,
 )
+from .compare import (
+    RunDiff,
+    RunSummary,
+    diff_records,
+    list_runs,
+    prune_runs,
+)
+from .health import DEFAULT_RULES, Alert, HealthEngine, HealthRule, parse_rules
 from .session import ObsSession, active_session, is_active, session
+from .telemetry import (
+    STREAM_SUFFIX,
+    NullStream,
+    TelemetryStream,
+    get_stream,
+    read_stream,
+    set_stream,
+    use_stream,
+)
 from .tracing import (
     NullTracer,
     SpanNode,
@@ -77,7 +102,11 @@ from .tracing import (
 )
 
 __all__ = [
-    "metrics", "trace", "events",
+    "metrics", "trace", "events", "telemetry", "health", "compare",
+    "TelemetryStream", "NullStream", "get_stream", "set_stream",
+    "use_stream", "read_stream", "STREAM_SUFFIX",
+    "HealthRule", "HealthEngine", "Alert", "parse_rules", "DEFAULT_RULES",
+    "RunSummary", "RunDiff", "list_runs", "diff_records", "prune_runs",
     "Counter", "Gauge", "Histogram", "Registry", "NullRegistry",
     "get_registry", "set_registry", "use_registry",
     "Tracer", "NullTracer", "SpanNode", "format_span_tree",

@@ -29,7 +29,11 @@ __all__ = [
 ]
 
 DEFAULT_RUNS_DIR = "runs"
-SCHEMA_VERSION = 1
+# v1: original record shape.  v2 (this version): adds the ``telemetry``
+# digest (live-stream pointer + event counts + health-alert summary).
+# Readers must warn — not crash — on versions above their own (see
+# repro.obs.compare.summarize_record).
+SCHEMA_VERSION = 2
 
 
 def version_stamp(repo_root: Optional[Path] = None) -> Dict[str, object]:
@@ -79,6 +83,10 @@ class RunRecord:
     # Op-profiler digest (obs.session(profile=True)): totals, top-10 op
     # table, and a pointer to the chrome-trace file next to the record.
     profile: Dict[str, object] = dataclasses.field(default_factory=dict)
+    # Telemetry digest (obs.session(telemetry=True)): the sibling
+    # ``*-stream.jsonl`` name, event/snapshot counts, and the health
+    # engine's alert summary.
+    telemetry: Dict[str, object] = dataclasses.field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     @property
@@ -199,11 +207,40 @@ def format_record(record: RunRecord, with_spans: bool = True,
         lines.append("")
         lines.append("profile:")
         lines.extend("  " + line for line in _format_profile(record.profile))
+    if record.telemetry:
+        lines.append("")
+        lines.append("telemetry:")
+        lines.extend("  " + line
+                     for line in _format_telemetry(record.telemetry))
     if with_spans and record.spans:
         lines.append("")
         lines.append("spans:")
         lines.append(format_span_tree(record.spans))
     return "\n".join(lines)
+
+
+def _format_telemetry(telemetry: Dict[str, object]) -> List[str]:
+    lines: List[str] = []
+    stream = telemetry.get("stream")
+    if stream:
+        lines.append(
+            f"stream: {stream}  events={telemetry.get('events', 0)}  "
+            f"snapshots={telemetry.get('snapshots', 0)}"
+        )
+    health = telemetry.get("health")
+    if isinstance(health, dict):
+        lines.append(
+            f"health: rules={len(health.get('rules', []))}  "
+            f"warn={health.get('alerts_warn', 0)}  "
+            f"fail={health.get('alerts_fail', 0)}"
+        )
+        for alert in health.get("alerts", []):
+            if isinstance(alert, dict):
+                lines.append(
+                    f"  [{str(alert.get('severity', '?')).upper()}] "
+                    f"{alert.get('rule', '?')}: {alert.get('message', '')}"
+                )
+    return lines
 
 
 def _format_profile(profile: Dict[str, object]) -> List[str]:

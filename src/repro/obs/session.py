@@ -18,7 +18,7 @@ spans without persisting anything.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from . import events as events_mod
 from . import metrics as metrics_mod
@@ -47,7 +47,10 @@ class ObsSession:
                  events_stderr: bool = False,
                  stderr_level: int = events_mod.INFO,
                  profile: bool = False,
-                 profile_max_events: int = 200_000):
+                 profile_max_events: int = 200_000,
+                 telemetry: bool = False,
+                 health_rules: Optional[Sequence[str]] = None,
+                 snapshot_seconds: float = 5.0):
         self.runs_dir = runs_dir
         self.registry = Registry()
         self.tracer = Tracer(trace_alloc=trace_alloc)
@@ -63,6 +66,20 @@ class ObsSession:
             # imports repro.obs submodules.
             from .profile import OpProfiler
             self.profiler = OpProfiler(max_events=profile_max_events)
+        # Live telemetry: the *runner* opens one stream per experiment
+        # (the file is named after the run), reading these knobs off the
+        # session; `health_rules` additionally arms the alert engine
+        # (see repro.obs.telemetry / repro.obs.health).  Enabling rules
+        # implies streaming.
+        self.telemetry = bool(telemetry) or health_rules is not None
+        self.health_rules: Optional[List[str]] = (
+            list(health_rules) if health_rules is not None else None
+        )
+        self.snapshot_seconds = snapshot_seconds
+        #: Set by the runner after each experiment: the final stream
+        #: path and the health digest of the most recent run.
+        self.last_stream_path = None
+        self.last_health: Optional[dict] = None
         self._previous = None
 
     def __enter__(self) -> "ObsSession":
@@ -94,12 +111,17 @@ def session(runs_dir: Optional[str] = "runs", trace_alloc: bool = False,
             events_jsonl=None, events_stderr: bool = False,
             stderr_level: int = events_mod.INFO,
             profile: bool = False,
-            profile_max_events: int = 200_000) -> ObsSession:
+            profile_max_events: int = 200_000,
+            telemetry: bool = False,
+            health_rules: Optional[Sequence[str]] = None,
+            snapshot_seconds: float = 5.0) -> ObsSession:
     """Create an :class:`ObsSession` (use as a context manager)."""
     return ObsSession(runs_dir=runs_dir, trace_alloc=trace_alloc,
                       events_jsonl=events_jsonl, events_stderr=events_stderr,
                       stderr_level=stderr_level, profile=profile,
-                      profile_max_events=profile_max_events)
+                      profile_max_events=profile_max_events,
+                      telemetry=telemetry, health_rules=health_rules,
+                      snapshot_seconds=snapshot_seconds)
 
 
 def active_session() -> Optional[ObsSession]:

@@ -1,0 +1,556 @@
+"""Live run telemetry: an append-only, tail-able JSONL event stream.
+
+While :mod:`repro.obs.runrecord` writes *one* JSON manifest after a run
+finishes, this module streams structured events *while the run is in
+flight*: the trainer emits one ``epoch`` / ``validation`` event per
+epoch, the evaluator an ``eval`` event per ranking, the runner
+``run_start`` / ``phase`` / ``run_end`` markers, and the health engine
+(:mod:`repro.obs.health`) ``alert`` events.  Each line is a flat JSON
+object carrying ``ts``, ``schema_version`` and an ``event`` name, so the
+stream can be tailed with ``tail -f`` or ``repro obs watch`` and parsed
+by anything that reads JSONL.
+
+Interleaved with the events, a periodic **metrics-registry snapshotter**
+writes ``metrics_snapshot`` events (compact counter/gauge/histogram
+digests with percentile estimates) and refreshes a **Prometheus-style
+text exposition file** next to the stream, so external scrapers can read
+live state without touching Python::
+
+    with obs.session(runs_dir="runs", telemetry=True):
+        run_experiment("sdea", pair, split)
+    # runs/<record>-stream.jsonl   one event per line
+    # runs/<record>.prom           text exposition, rewritten per snapshot
+
+Like the other instruments, emission goes through a process-global slot
+that defaults to a no-op :class:`NullStream` — instrumented code calls
+:func:`emit` unconditionally and pays ~one attribute load when no stream
+is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional
+
+from . import metrics as metrics_mod
+
+__all__ = [
+    "STREAM_SCHEMA_VERSION", "STREAM_SUFFIX", "PROM_SUFFIX",
+    "TelemetryStream", "NullStream",
+    "get_stream", "set_stream", "use_stream", "emit", "is_active",
+    "read_stream", "iter_stream", "latest_stream", "stream_status",
+    "format_status_line",
+    "prometheus_exposition", "write_prometheus",
+]
+
+#: Version stamped on every stream event; readers warn (never crash) on
+#: versions they do not know (see :func:`read_stream`).
+STREAM_SCHEMA_VERSION = 1
+
+#: Stream files are ``<record-stem>-stream.jsonl`` next to the record.
+STREAM_SUFFIX = "-stream.jsonl"
+
+#: Prometheus exposition files are ``<record-stem>.prom``.
+PROM_SUFFIX = ".prom"
+
+
+class TelemetryStream:
+    """Append-only JSONL event stream with a periodic metrics snapshotter.
+
+    Parameters
+    ----------
+    path:
+        Output file; opened in append mode, one JSON object per line,
+        flushed per event so ``tail -f`` sees lines immediately.
+    registry:
+        The metrics registry the snapshotter digests.  ``None`` disables
+        snapshots.
+    snapshot_seconds:
+        Minimum seconds between ``metrics_snapshot`` events; ``0`` emits
+        a snapshot after every event (tests), ``None`` disables the
+        periodic snapshotter (explicit :meth:`snapshot` still works).
+    prom_path:
+        Prometheus exposition file rewritten at every snapshot.  Defaults
+        to the stream path with :data:`STREAM_SUFFIX` replaced by
+        :data:`PROM_SUFFIX`; pass ``False`` to disable.
+    engine:
+        Optional :class:`repro.obs.health.HealthEngine`; every emitted
+        event is fed to it and any alerts it fires are appended to the
+        stream as ``alert`` events.
+    """
+
+    def __init__(self, path, registry: Optional[metrics_mod.Registry] = None,
+                 snapshot_seconds: Optional[float] = 5.0,
+                 prom_path=None, engine=None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.registry = registry
+        self.snapshot_seconds = snapshot_seconds
+        if prom_path is False:
+            self.prom_path: Optional[Path] = None
+        elif prom_path is None:
+            name = self.path.name
+            if name.endswith(STREAM_SUFFIX):
+                name = name[: -len(STREAM_SUFFIX)] + PROM_SUFFIX
+            else:
+                name = self.path.stem + PROM_SUFFIX
+            self.prom_path = self.path.with_name(name)
+        else:
+            self.prom_path = Path(prom_path)
+        self.engine = engine
+        self.events_written = 0
+        self.snapshots_written = 0
+        self._last_snapshot = -math.inf
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def emit(self, event: str, **fields) -> None:
+        """Append one event line (and run health checks / snapshotter)."""
+        if self._closed:
+            return
+        record: Dict[str, object] = {
+            "ts": time.time(),
+            "schema_version": STREAM_SCHEMA_VERSION,
+            "event": event,
+        }
+        record.update(fields)
+        self._write(record)
+        if self.engine is not None and event != "alert":
+            for alert in self.engine.observe(record):
+                self._write_alert(alert)
+        self.maybe_snapshot()
+
+    def _write(self, record: Dict[str, object]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._fh.flush()
+        self.events_written += 1
+
+    def _write_alert(self, alert) -> None:
+        record: Dict[str, object] = {
+            "ts": time.time(),
+            "schema_version": STREAM_SCHEMA_VERSION,
+            "event": "alert",
+        }
+        record.update(alert.to_fields())
+        self._write(record)
+
+    def maybe_snapshot(self) -> bool:
+        """Emit a ``metrics_snapshot`` if the snapshot period has elapsed."""
+        if self.registry is None or self.snapshot_seconds is None:
+            return False
+        if time.monotonic() - self._last_snapshot < self.snapshot_seconds:
+            return False
+        self.snapshot()
+        return True
+
+    def snapshot(self) -> None:
+        """Force a ``metrics_snapshot`` event + Prometheus rewrite now.
+
+        The write itself is timed into the
+        ``telemetry.snapshot_write_seconds`` histogram of the digested
+        registry, so snapshot cost is visible in the data it produces.
+        """
+        if self.registry is None or self._closed:
+            return
+        start = time.perf_counter()
+        digest = compact_digest(self.registry)
+        self._write({
+            "ts": time.time(),
+            "schema_version": STREAM_SCHEMA_VERSION,
+            "event": "metrics_snapshot",
+            "metrics": digest,
+        })
+        if self.prom_path is not None:
+            write_prometheus(self.registry, self.prom_path)
+        self.snapshots_written += 1
+        self._last_snapshot = time.monotonic()
+        self.registry.histogram("telemetry.snapshot_write_seconds").observe(
+            time.perf_counter() - start
+        )
+
+    def close(self, final_snapshot: bool = True) -> None:
+        """Emit ``stream_end`` (after an optional final snapshot), close."""
+        if self._closed:
+            return
+        if final_snapshot and self.registry is not None:
+            self.snapshot()
+        summary: Dict[str, object] = {
+            "ts": time.time(),
+            "schema_version": STREAM_SCHEMA_VERSION,
+            "event": "stream_end",
+            "events": self.events_written,
+            "snapshots": self.snapshots_written,
+        }
+        if self.engine is not None:
+            summary.update(self.engine.alert_counts())
+        self._write(summary)
+        self._fh.close()
+        self._closed = True
+
+    def rename(self, target) -> Path:
+        """Move the (closed) stream — and its .prom sibling — to ``target``.
+
+        Used by the runner to line the stream file up with the run
+        record's final name, which is only known after the record is
+        written.
+        """
+        if not self._closed:
+            raise RuntimeError("close() the stream before renaming it")
+        target = Path(target)
+        os.replace(self.path, target)
+        self.path = target
+        if self.prom_path is not None and self.prom_path.exists():
+            name = target.name
+            if name.endswith(STREAM_SUFFIX):
+                name = name[: -len(STREAM_SUFFIX)] + PROM_SUFFIX
+            else:
+                name = target.stem + PROM_SUFFIX
+            new_prom = target.with_name(name)
+            os.replace(self.prom_path, new_prom)
+            self.prom_path = new_prom
+        return target
+
+
+class NullStream:
+    """The no-op default: every emit is a cheap drop."""
+
+    __slots__ = ()
+    events_written = 0
+    snapshots_written = 0
+    engine = None
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def snapshot(self) -> None:
+        pass
+
+    def maybe_snapshot(self) -> bool:
+        return False
+
+    def close(self, final_snapshot: bool = True) -> None:
+        pass
+
+
+_NULL_STREAM = NullStream()
+_default = _NULL_STREAM
+
+
+def get_stream():
+    """The process-global telemetry stream (a no-op by default)."""
+    return _default
+
+
+def set_stream(stream: Optional[TelemetryStream]):
+    """Install ``stream`` globally; ``None`` restores the no-op stream.
+    Returns the previously installed stream."""
+    global _default
+    previous = _default
+    _default = stream if stream is not None else _NULL_STREAM
+    return previous
+
+
+class use_stream:
+    """Context manager installing ``stream`` globally for the block."""
+
+    def __init__(self, stream: Optional[TelemetryStream]):
+        self.stream = stream
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_stream(self.stream)
+        return get_stream()
+
+    def __exit__(self, *exc) -> None:
+        set_stream(self._previous)
+
+
+def emit(event: str, **fields) -> None:
+    """Emit through the current global stream (no-op when none installed)."""
+    _default.emit(event, **fields)
+
+
+def is_active() -> bool:
+    return _default is not _NULL_STREAM
+
+
+# ---------------------------------------------------------------------- #
+# Read side
+# ---------------------------------------------------------------------- #
+def read_stream(path, on_warning: Optional[Callable[[str], None]] = None
+                ) -> List[Dict[str, object]]:
+    """Parse a stream file into a list of event dicts.
+
+    Unknown ``schema_version`` values and malformed lines produce one
+    warning each (via ``on_warning``, default :func:`warnings.warn`) and
+    are otherwise skipped/kept best-effort — a partially written tail
+    line, common while a run is live, is never an error.
+    """
+    if on_warning is None:
+        import warnings
+
+        def on_warning(message: str) -> None:  # noqa: F811
+            warnings.warn(message, stacklevel=3)
+
+    out: List[Dict[str, object]] = []
+    warned_version = False
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail line of a live stream
+        if not isinstance(record, dict):
+            continue
+        version = record.get("schema_version")
+        if (not warned_version and isinstance(version, int)
+                and version > STREAM_SCHEMA_VERSION):
+            on_warning(
+                f"{path}: stream schema_version {version} is newer than "
+                f"this reader ({STREAM_SCHEMA_VERSION}); "
+                "fields may be missing"
+            )
+            warned_version = True
+        out.append(record)
+    return out
+
+
+def iter_stream(path, poll_seconds: float = 0.5,
+                timeout: Optional[float] = None
+                ) -> Iterator[Dict[str, object]]:
+    """Tail a live stream: yield events as they are appended.
+
+    Stops on a ``stream_end`` event, or after ``timeout`` seconds without
+    one (``None`` = wait forever).  Torn/partial tail lines are retried
+    on the next poll.
+    """
+    path = Path(path)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    offset = 0
+    buffer = ""
+    while True:
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+                offset = fh.tell()
+            buffer += chunk
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+                    if record.get("event") == "stream_end":
+                        return
+        if deadline is not None and time.monotonic() > deadline:
+            return
+        time.sleep(poll_seconds)
+
+
+def latest_stream(runs_dir) -> Optional[Path]:
+    """The most recently modified ``*-stream.jsonl`` under ``runs_dir``."""
+    directory = Path(runs_dir)
+    if not directory.is_dir():
+        return None
+    streams = sorted(directory.glob(f"*{STREAM_SUFFIX}"),
+                     key=lambda p: p.stat().st_mtime)
+    return streams[-1] if streams else None
+
+
+def stream_status(events: List[Dict[str, object]]) -> Dict[str, object]:
+    """Fold a stream's events into the latest-known run state.
+
+    The dict behind ``repro obs watch``'s status line: run identity,
+    current phase/epoch, latest loss / hits@1 / epoch seconds, alert
+    counts, and whether the stream has ended.
+    """
+    status: Dict[str, object] = {"alerts_warn": 0, "alerts_fail": 0,
+                                 "events": 0, "ended": False}
+    for record in events:
+        status["events"] += 1
+        kind = record.get("event")
+        if kind == "run_start":
+            for key in ("method", "dataset"):
+                if key in record:
+                    status[key] = record[key]
+        elif kind == "epoch":
+            for key in ("phase", "epoch", "loss", "lr", "grad_norm"):
+                if key in record:
+                    status[key] = record[key]
+            if "seconds" in record:
+                status["epoch_seconds"] = record["seconds"]
+        elif kind == "validation":
+            if "hits1" in record:
+                status["hits@1"] = record["hits1"]
+        elif kind == "eval":
+            if "hits_at_1" in record:
+                status["hits@1"] = record["hits_at_1"]
+        elif kind == "phase":
+            status["phase"] = record.get("name", status.get("phase"))
+        elif kind == "alert":
+            if record.get("severity") == "fail":
+                status["alerts_fail"] += 1
+            else:
+                status["alerts_warn"] += 1
+        elif kind == "run_end":
+            for key in ("hits_at_1", "hits_at_10", "mrr"):
+                if key in record and key == "hits_at_1":
+                    status["hits@1"] = record[key]
+        elif kind == "stream_end":
+            status["ended"] = True
+    return status
+
+
+def format_status_line(status: Dict[str, object]) -> str:
+    """One compact ``key=value`` line for the ``watch`` renderer."""
+    parts: List[str] = []
+    if "method" in status:
+        dataset = status.get("dataset", "?")
+        parts.append(f"{status['method']}@{dataset}")
+    if "phase" in status:
+        phase = status["phase"]
+        epoch = status.get("epoch")
+        parts.append(f"phase={phase}" + (f" epoch={epoch}"
+                                         if epoch is not None else ""))
+    for key, fmt in (("loss", ".4g"), ("hits@1", ".3f"),
+                     ("epoch_seconds", ".2f"), ("grad_norm", ".3g")):
+        value = status.get(key)
+        if isinstance(value, (int, float)):
+            parts.append(f"{key}={value:{fmt}}")
+    parts.append(f"alerts={status['alerts_warn']}w/{status['alerts_fail']}f")
+    parts.append(f"events={status['events']}")
+    if status.get("ended"):
+        parts.append("[ended]")
+    return "  ".join(parts)
+
+
+# ---------------------------------------------------------------------- #
+# Metrics digests: compact snapshot + Prometheus text exposition
+# ---------------------------------------------------------------------- #
+def compact_digest(registry: metrics_mod.Registry) -> Dict[str, object]:
+    """A trimmed registry dump sized for per-snapshot streaming.
+
+    Counters/gauges keep their values; histograms keep count / sum /
+    percentile estimates but drop the per-bucket count arrays (those stay
+    in the end-of-run record snapshot).  Delegates to
+    :meth:`repro.obs.metrics.Registry.compact_snapshot`.
+    """
+    return registry.compact_snapshot()
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a dotted metric name into a Prometheus identifier."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _prom_escape(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None
+                 ) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(k)}="{_prom_escape(v)}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def prometheus_exposition(registry: metrics_mod.Registry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters become ``<name>_total``, gauges keep their name, histograms
+    emit cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``
+    — the standard shape scrapers expect.  Metric names are sanitised
+    (``trainer.loss`` → ``trainer_loss``).
+    """
+    lines: List[str] = []
+    for name, payload in registry.snapshot().items():
+        kind = payload.get("kind")
+        series = payload.get("series", [])
+        base = _prom_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {base}_total counter")
+            for entry in series:
+                lines.append(
+                    f"{base}_total{_prom_labels(entry.get('labels', {}))} "
+                    f"{_prom_value(entry.get('value', 0.0))}"
+                )
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            for entry in series:
+                lines.append(
+                    f"{base}{_prom_labels(entry.get('labels', {}))} "
+                    f"{_prom_value(entry.get('value'))}"
+                )
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} histogram")
+            for entry in series:
+                labels = entry.get("labels", {})
+                bounds = entry.get("buckets", [])
+                counts = entry.get("counts", [])
+                running = 0
+                for bound, bucket_count in zip(bounds, counts):
+                    running += bucket_count
+                    lines.append(
+                        f"{base}_bucket"
+                        f"{_prom_labels(labels, {'le': f'{bound:g}'})} "
+                        f"{running}"
+                    )
+                total = entry.get("count", 0)
+                lines.append(
+                    f"{base}_bucket{_prom_labels(labels, {'le': '+Inf'})} "
+                    f"{total}"
+                )
+                lines.append(
+                    f"{base}_sum{_prom_labels(labels)} "
+                    f"{_prom_value(entry.get('sum', 0.0))}"
+                )
+                lines.append(f"{base}_count{_prom_labels(labels)} {total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: metrics_mod.Registry, path) -> Path:
+    """Atomically (write + rename) refresh a ``.prom`` exposition file."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(prometheus_exposition(registry), encoding="utf-8")
+    os.replace(tmp, path)
+    return path

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..nn import Adam, clip_grad_norm
 from ..nn import functional as F
-from ..obs import events, metrics, trace
+from ..obs import events, metrics, telemetry, trace
 from .bert import BertConfig, BertForMaskedLM
 from .tokenizer import WordPieceTokenizer
 
@@ -125,10 +125,13 @@ def pretrain_mlm(model: BertForMaskedLM, tokenizer: WordPieceTokenizer,
         # One labeled series per epoch => the loss curve survives in the
         # registry snapshot (and therefore in run records).
         metrics.gauge("mlm.loss_curve").set(mean_loss, epoch=epoch)
+        epoch_seconds = time.perf_counter() - epoch_start
         metrics.histogram("trainer.epoch_seconds").observe(
-            time.perf_counter() - epoch_start, phase="mlm"
+            epoch_seconds, phase="mlm"
         )
         events.debug("epoch", phase="mlm", epoch=epoch, loss=mean_loss)
+        telemetry.emit("epoch", phase="mlm", epoch=epoch, loss=mean_loss,
+                       seconds=epoch_seconds, lr=config.lr)
         if log is not None:
             log.append(mean_loss)
     model.eval()

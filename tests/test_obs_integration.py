@@ -43,7 +43,8 @@ class TestCliTraceSmoke:
         data = json.loads(paths[0].read_text())
         assert data["method"] == "jape-stru"
         assert data["dataset"] == "srprs-dbp_yg"  # KGPair.name of srprs/dbp_yg
-        assert data["schema_version"] == 1
+        from repro.obs.runrecord import SCHEMA_VERSION
+        assert data["schema_version"] == SCHEMA_VERSION
         assert "H@1" in data["results"]
         assert data["timing"]["total_seconds"] == pytest.approx(
             data["timing"]["fit_seconds"] + data["timing"]["eval_seconds"]
