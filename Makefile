@@ -2,7 +2,7 @@
 
 .PHONY: install test lint shapecheck check bench bench-hot bench-hot-smoke \
 	bench-compare bench-compare-smoke report obs-demo obs-check \
-	profile-demo clean
+	ir-check profile-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,8 +21,9 @@ shapecheck:
 
 # The full gate: lint clean, shapes clean, hot-path bench smoke,
 # committed bench baseline structurally valid, telemetry pipeline
-# end-to-end, tests.
-check: lint shapecheck bench-hot-smoke bench-compare-smoke obs-check test
+# end-to-end, IR capture/replay verified, tests.
+check: lint shapecheck bench-hot-smoke bench-compare-smoke obs-check ir-check test
+	@echo "check: OK - all gates green (lint, shape, obs, ir)"
 
 # Tiny instrumented run: prints the span report and writes a run record
 # under runs/ (inspect it with `python -m repro.cli obs`).
@@ -36,6 +37,13 @@ obs-demo:
 # files and zero health alerts (part of `make check`).
 obs-check:
 	python benchmarks/obs_check.py
+
+# Training-step IR pipeline end-to-end: capture one fwd+bwd step of two
+# gate-clean methods, assert zero gating G-findings, a consistent
+# liveness plan (planned <= eager <= measured peak) and a bit-for-bit
+# replay against eager (part of `make check`).
+ir-check:
+	python benchmarks/ir_check.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

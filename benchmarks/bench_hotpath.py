@@ -42,9 +42,11 @@ from repro.align.similarity import (  # noqa: E402
     cosine_similarity_matrix,
     topk_indices,
 )
+from repro.analysis.ir import capture_step, replay  # noqa: E402
 from repro.analysis.shapes.flops import flops_for  # noqa: E402
 from repro.nn import functional as F  # noqa: E402
 from repro.nn.attention import MultiHeadSelfAttention  # noqa: E402
+from repro.nn.layers import MLP  # noqa: E402
 from repro.nn.kernels import use_kernels  # noqa: E402
 from repro.nn.rnn import BiGRU  # noqa: E402
 from repro.nn.tensor import Tensor  # noqa: E402
@@ -224,6 +226,44 @@ def bench_bigru_fused() -> Bench:
                  f"hidden={hidden}", make, flops_from="bigru_step")
 
 
+def bench_ir_replay() -> Bench:
+    # Verified replay of a captured fwd+bwd step (repro.analysis.ir):
+    # measures the interpreter overhead of re-executing the IR with
+    # bit-for-bit checking against the recorded values.  FLOPs are the
+    # eager step's profiled count — the replay re-runs the same math.
+    batch, dim, hidden, classes = 64, 32, 64, 16
+
+    def build_step():
+        rng = _rng()
+        mlp = MLP(dim, [hidden], classes, rng)
+        x = Tensor(rng.normal(size=(batch, dim)), requires_grad=True)
+
+        def step():
+            x.grad = None
+            logits = mlp(x)
+            F.softmax(logits, axis=-1).log().mean().backward()
+
+        return step
+
+    def make():
+        step = build_step()
+        capture = capture_step(lambda: (step(), step()), label="mlp")
+
+        def run():
+            result = replay(capture)
+            if not result.ok:
+                raise RuntimeError(f"replay diverged: {result.summary()}")
+
+        return run
+
+    # The capture windows down to one clean step, so the replay does one
+    # step's worth of math.
+    flops = _profiled_flops(build_step())
+    return Bench("ir_replay",
+                 f"verified IR replay: MLP {dim}->{hidden}->{classes} "
+                 f"fwd+bwd B={batch}", make, analytic_flops=flops)
+
+
 def bench_cosine_topk_chunked() -> Bench:
     n1, n2, dim, k = 1000, 1000, 64, 10
     flops = (flops_for("matmul", [(n1, dim), (dim, n2)], (n1, n2))
@@ -254,7 +294,7 @@ def bench_cosine_topk_chunked() -> Bench:
 # shipped configuration: fused nodes + recycled hot-loop buffers.
 ALL_BENCHES: List[Callable[[], Bench]] = [
     bench_matmul, bench_softmax, bench_attention, bench_bigru,
-    bench_cosine_topk, bench_cosine_topk_chunked,
+    bench_cosine_topk, bench_cosine_topk_chunked, bench_ir_replay,
     bench_softmax_fused, bench_attention_fused, bench_bigru_fused,
 ]
 

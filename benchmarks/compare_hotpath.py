@@ -39,6 +39,7 @@ BASELINE = REPO_ROOT / "BENCH_hotpath.json"
 REQUIRED_ROWS = (
     "matmul", "softmax", "softmax_fused", "bigru_step", "bigru_step_fused",
     "mha_step", "mha_step_fused", "cosine_topk", "cosine_topk_chunked",
+    "ir_replay",
 )
 
 

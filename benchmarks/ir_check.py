@@ -1,0 +1,101 @@
+"""End-to-end smoke of the training-step IR pipeline.
+
+Captures one fwd+bwd step of two registered methods on the tiny
+srprs/dbp_yg pair with the op profiler armed, then asserts the whole
+capture -> analyze -> verify chain held together:
+
+* the capture window is clean (one full step, no boundary artefacts);
+* the pass manager reports zero *gating* findings (G002/G003/G005/G006
+  clean — info-level G001/G004 are allowed);
+* the liveness plan is internally consistent: planned peak <= eager
+  peak <= the profiler's measured ``peak_tensor_bytes``;
+* the replay executor re-runs the captured IR and every op output and
+  every parameter gradient is bit-for-bit identical to eager.
+
+The two methods are chosen to be gate-clean baselines (jape-stru is
+deliberately excluded: its duplicate embedding ``take`` is a real G005
+warning that ``repro ir --method jape-stru`` surfaces by design).
+
+Deterministic and second-scale, so ``make check`` runs it on every gate
+(``make ir-check``).
+
+Usage::
+
+    python benchmarks/ir_check.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.analysis.ir import capture_method, plan_memory, replay, run_passes  # noqa: E402
+
+METHODS = ("mtranse", "gcn-align")
+BUDGET_SECONDS = 10.0
+
+
+def fail(message: str):
+    print(f"ir-check: FAIL - {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_method(method: str) -> None:
+    with obs.session(runs_dir=None, profile=True) as sess:
+        capture = capture_method(method)
+    measured_peak = sess.profiler.peak_live_bytes if sess.profiler else 0
+
+    if not capture.clean:
+        fail(f"{method}: capture window not clean")
+    if capture.graph.overflowed:
+        fail(f"{method}: capture overflowed its op budget")
+
+    report = run_passes(capture)
+    if report.gating:
+        for finding in report.gating:
+            print(f"  {finding.format()}", file=sys.stderr)
+        fail(f"{method}: {len(report.gating)} gating IR finding(s)")
+
+    plan = plan_memory(capture)
+    if plan.planned_peak_bytes > plan.eager_peak_bytes:
+        fail(f"{method}: planned peak {plan.planned_peak_bytes} exceeds "
+             f"eager peak {plan.eager_peak_bytes}")
+    if measured_peak and plan.eager_peak_bytes > measured_peak:
+        fail(f"{method}: eager peak {plan.eager_peak_bytes} exceeds "
+             f"profiler-measured peak {measured_peak}")
+
+    result = replay(capture)
+    if not result.ok:
+        for mismatch in result.mismatches:
+            print(f"  {mismatch}", file=sys.stderr)
+        fail(f"{method}: replay diverged from eager ({result.summary()})")
+    if result.opaque_ops:
+        print(f"  note: {method} replayed {len(result.opaque_ops)} op(s) "
+              f"opaquely (recorded data)", file=sys.stderr)
+
+    print(f"ir-check: {method}: {len(capture.graph.op_nodes())} ops, "
+          f"{result.forward_matched}/{result.forward_checked} outputs and "
+          f"{result.grads_matched}/{result.grads_checked} grads bit-equal, "
+          f"planned {plan.planned_peak_bytes} <= eager "
+          f"{plan.eager_peak_bytes} <= measured {measured_peak} bytes")
+
+
+def main() -> int:
+    start = time.perf_counter()
+    for method in METHODS:
+        check_method(method)
+    elapsed = time.perf_counter() - start
+    if elapsed > BUDGET_SECONDS:
+        fail(f"budget blown: {elapsed:.1f}s > {BUDGET_SECONDS:.0f}s")
+    print(f"ir-check: OK - {len(METHODS)} methods captured, analyzed and "
+          f"replayed bit-for-bit in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,9 +23,28 @@ Three parts (see ``docs/static_analysis.md``):
   whole-model interpreter lives in
   :mod:`repro.analysis.shapes.interpreter` and is imported lazily —
   it depends on ``repro.core``/``repro.baselines``.)
+* :mod:`repro.analysis.ir` — training-step IR: captures one fwd+bwd
+  step into an SSA-style op graph, runs compiler-style passes
+  (liveness/memory planning, dead ops, dropped gradients, fusion
+  legality, value CSE, dtype escapes — codes G001–G006) and verifies
+  the IR with a bit-for-bit replay executor.  Exposed as ``repro ir``.
+  (Imported lazily like the shape interpreter — capturing a method
+  pulls in ``repro.core``.)
+
+Finding records and gate policy are shared across the dynamic tools in
+:mod:`repro.analysis.findings`.
 """
 
 from .anomaly import AnomalyError, OpProvenance, detect_anomaly, is_anomaly_enabled
+from .findings import (
+    GATING_SEVERITIES,
+    Finding,
+    count_findings,
+    filter_findings,
+    findings_to_json,
+    format_findings_text,
+    gate_findings,
+)
 from .graphcheck import (
     GraphCaptureHarness,
     GraphIssue,
@@ -62,6 +81,8 @@ from .shapes import (
 __all__ = [
     "Rule", "Violation", "LintReport",
     "all_rules", "lint_source", "lint_paths", "format_text", "format_json",
+    "Finding", "GATING_SEVERITIES", "gate_findings", "count_findings",
+    "filter_findings", "format_findings_text", "findings_to_json",
     "GraphIssue", "GraphReport", "GraphCaptureHarness",
     "walk_graph", "check_graph", "check_method",
     "AnomalyError", "OpProvenance", "detect_anomaly", "is_anomaly_enabled",

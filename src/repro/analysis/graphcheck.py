@@ -31,23 +31,18 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn.tensor import Tensor
+from .findings import Finding
 
 __all__ = [
     "GraphIssue", "GraphReport", "GraphCaptureHarness",
     "walk_graph", "check_graph", "check_method",
 ]
 
-
-@dataclass(frozen=True)
-class GraphIssue:
-    """One finding about a built autograd graph."""
-
-    kind: str
-    severity: str  # "error" | "warning"
-    message: str
-
-    def format(self) -> str:
-        return f"[{self.severity}] {self.kind}: {self.message}"
+#: One finding about a built autograd graph.  The record (and its text
+#: rendering ``[severity] kind: message``) is the shared analysis
+#: finding — the same dataclass ``repro ir`` reports G-codes through
+#: (:mod:`repro.analysis.findings`).
+GraphIssue = Finding
 
 
 @dataclass

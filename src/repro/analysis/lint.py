@@ -33,6 +33,7 @@ R006      tensor-bool-context      error
 R007      tensor-ctor-in-loop      warning
 R008      numpy-round-trip         error
 R009      single-element-concat    warning
+R010      composed-kernel-subgraph warning
 ========  =======================  ========
 """
 
@@ -673,6 +674,117 @@ class SingleElementConcat(Rule):
                 yield (node, f"{chain[-1]}() over a single-element "
                              "sequence is a no-op copy; pass the tensor "
                              "directly or restore the missing operand")
+
+
+# ---------------------------------------------------------------------- #
+# R010 — hand-composed subgraphs the fused-kernel registry covers
+# ---------------------------------------------------------------------- #
+@rule
+class ComposedKernelSubgraph(Rule):
+    """Composed softmax/log-softmax/layer-norm/GRU in a forward method.
+
+    The fused kernel registry (:mod:`repro.nn.kernels`) implements these
+    with identical gradients and a fraction of the memory traffic; the
+    dynamic IR pass G004 finds the same shapes at runtime.  A composed
+    implementation in ``forward`` is either a site that should call the
+    registry-gated helpers (``repro.nn.functional.softmax`` & co.) or a
+    reference fallback — the fallbacks carry a justified
+    ``# repro: noqa[R010]``.
+    """
+
+    id = "R010"
+    name = "composed-kernel-subgraph"
+    severity = "warning"
+    doc = ("hand-composed softmax/log-softmax/layer-norm/GRU subgraph in "
+           "a forward method; covered by the fused kernel registry "
+           "(repro.nn.kernels) — call the functional helpers, or noqa "
+           "for the composed reference path")
+
+    def check(self, tree: ast.Module):
+        for fn in _functions_named(tree, "forward"):
+            yield from self._softmax_like(fn)
+            yield from self._layer_norm(fn)
+            yield from self._gru(fn)
+
+    # -- helpers -------------------------------------------------------- #
+    @staticmethod
+    def _is_method_call(expr: ast.AST, name: str,
+                        require_no_args: bool = True) -> bool:
+        """``<expr>.name()`` — tensor-method shape, not ``np.name(x)``."""
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == name
+                and (not require_no_args or not expr.args))
+
+    @classmethod
+    def _assigned_from(cls, fn: ast.FunctionDef, predicate) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and predicate(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _softmax_like(self, fn: ast.FunctionDef):
+        is_exp = lambda e: self._is_method_call(e, "exp")  # noqa: E731
+        exp_names = self._assigned_from(fn, is_exp)
+
+        def exp_value(expr: ast.AST) -> bool:
+            return is_exp(expr) or (isinstance(expr, ast.Name)
+                                    and expr.id in exp_names)
+
+        def sum_of_exp(expr: ast.AST) -> bool:
+            return (isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr == "sum"
+                    and exp_value(expr.func.value))
+
+        sum_names = self._assigned_from(fn, sum_of_exp)
+
+        def log_of_sum(expr: ast.AST) -> bool:
+            if not self._is_method_call(expr, "log"):
+                return False
+            receiver = expr.func.value
+            return sum_of_exp(receiver) or (
+                isinstance(receiver, ast.Name) and receiver.id in sum_names)
+
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, ast.Div) and exp_value(node.left) \
+                    and sum_of_exp(node.right):
+                yield (node, "hand-composed softmax (exp / exp.sum) in "
+                             "forward; call repro.nn.functional.softmax "
+                             "(kernels.fused_softmax under use_kernels)")
+            elif isinstance(node.op, ast.Sub) and log_of_sum(node.right):
+                yield (node, "hand-composed log-softmax "
+                             "(x - sum(exp).log()) in forward; call "
+                             "repro.nn.functional.log_softmax")
+
+    def _layer_norm(self, fn: ast.FunctionDef):
+        has_mean = any(
+            self._is_method_call(node, "mean", require_no_args=False)
+            for node in ast.walk(fn)
+        )
+        if not has_mean:
+            return
+        for node in ast.walk(fn):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div) \
+                    and self._is_method_call(node.right, "sqrt"):
+                yield (node, "hand-composed layer-norm (centered / "
+                             "var.sqrt() next to .mean()) in forward; "
+                             "covered by kernels.fused_layer_norm")
+
+    def _gru(self, fn: ast.FunctionDef):
+        sigmoids = sum(1 for node in ast.walk(fn)
+                       if self._is_method_call(node, "sigmoid"))
+        tanhs = sum(1 for node in ast.walk(fn)
+                    if self._is_method_call(node, "tanh"))
+        if sigmoids >= 2 and tanhs >= 1:
+            yield (fn, "forward composes GRU-style gates "
+                       f"({sigmoids}× sigmoid, {tanhs}× tanh); covered "
+                       "by kernels.fused_gru_cell / fused_gru_sequence")
 
 
 # ---------------------------------------------------------------------- #

@@ -20,6 +20,8 @@ Usage (installed as the ``repro`` console script)::
     repro lint     src tests            # autograd-aware static analysis
     repro check-model --method sdea     # dynamic autograd-graph check
     repro shape-check                   # symbolic whole-model shape check
+    repro ir       --method sdea --replay   # training-step IR + verified replay
+    repro ir       --method jape-stru --dot step.dot --format json
 """
 
 from __future__ import annotations
@@ -120,13 +122,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(f"cannot load health rules: {exc}", file=sys.stderr)
                 return 2
     telemetry_on = args.telemetry or rule_texts is not None
+    if args.capture_ir:
+        from .analysis.ir import IRCapture
+        ir_ctx = IRCapture()
+    else:
+        ir_ctx = nullcontext()
     from .analysis.anomaly import AnomalyError
     # Session first, anomaly second: the anomaly hooks must stack on top
     # of the profiler's engine hooks (both patch Tensor._make_child).
+    # The IR capture enters last for the same reason.
     with obs.session(runs_dir=args.runs_dir, profile=args.profile,
                      telemetry=telemetry_on,
                      health_rules=rule_texts) as sess, \
-            anomaly_ctx, kernel_ctx:
+            anomaly_ctx, kernel_ctx, ir_ctx:
         try:
             result = run_experiment(args.method, pair, split,
                                     with_stable_matching=args.stable)
@@ -147,6 +155,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.profile:
             print()
             print(sess.profiler.report())
+            print()
+    if args.capture_ir:
+        capture = ir_ctx.capture
+        if capture is None:
+            print("ir capture: no backward observed (non-gradient method)")
+        else:
+            from .analysis.ir import run_passes
+            capture.method = args.method
+            print()
+            print(run_passes(capture).to_text())
             print()
     print(f"{args.method}: {result.row()}  ({result.seconds:.1f}s)")
     if args.profile:
@@ -546,6 +564,51 @@ def _cmd_check_model(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_ir(args: argparse.Namespace) -> int:
+    """Capture one training step as IR, analyze it, optionally replay.
+
+    Runs the method at unit-test scale on the tiny synthetic pair (same
+    workload as ``repro check-model``), prints the G001–G006 findings,
+    and with ``--replay`` re-executes the captured step and verifies it
+    bit-for-bit against what the eager engine produced.
+    """
+    from .analysis.ir import capture_method, replay, run_passes
+    from .obs import metrics
+
+    known = available_methods()
+    if args.method not in known:
+        print(f"unknown method {args.method!r}; choose from {known}",
+              file=sys.stderr)
+        return 1
+    start = time.perf_counter()
+    try:
+        capture = capture_method(args.method)
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    report = run_passes(capture, select=args.select, ignore=args.ignore)
+    if args.replay:
+        report.replay = replay(capture)
+    seconds = time.perf_counter() - start
+    # Same pattern as `repro lint` / `repro shape-check`: lands in the
+    # run-record metrics snapshot when an obs session is active.
+    metrics.histogram("analysis.ir_seconds").observe(seconds)
+    metrics.counter("analysis.ir_findings").inc(len(report.findings))
+    if args.dot:
+        Path(args.dot).write_text(capture.graph.to_dot(), encoding="utf-8")
+    if args.format == "json":
+        print(report.to_json())
+        if args.dot:  # keep stdout pure JSON for piping
+            print(f"wrote op graph: {args.dot}", file=sys.stderr)
+    else:
+        print(report.to_text())
+        print(f"(captured + analyzed in {seconds:.1f} s)")
+        if args.dot:
+            print(f"wrote op graph: {args.dot}  (render with `dot -Tsvg`)")
+    replay_failed = args.replay and not report.replay.ok
+    return 1 if report.gating or replay_failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -593,6 +656,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "loss/grad_norm nonfinite + grad spike) and "
                           "exit nonzero on any fail alert; implies "
                           "--telemetry")
+    run.add_argument("--capture-ir", action="store_true",
+                     help="capture one training step into the analysis "
+                          "IR and print the G-finding report after the "
+                          "run (see `repro ir`)")
     run.add_argument("--health-rules", default=None, metavar="RULES.toml",
                      help="TOML file with a top-level `rules` string "
                           "array (see `repro obs rules`); implies "
@@ -714,6 +781,27 @@ def build_parser() -> argparse.ArgumentParser:
     shape.add_argument("--ignore", nargs="*", default=None,
                        help="skip specific finding codes (e.g. S003)")
     shape.set_defaults(func=_cmd_shape_check)
+
+    ir = sub.add_parser(
+        "ir",
+        help="capture one training step as an SSA-style op graph, run "
+             "compiler-style passes (liveness, dead ops, fusion "
+             "legality, ... — codes G001-G006) and optionally verify "
+             "the IR with a bit-for-bit replay",
+    )
+    ir.add_argument("--method", required=True)
+    ir.add_argument("--format", choices=("text", "json"), default="text")
+    ir.add_argument("--select", nargs="*", default=None,
+                    help="restrict to specific finding codes "
+                         "(e.g. G002 G005)")
+    ir.add_argument("--ignore", nargs="*", default=None,
+                    help="skip specific finding codes (e.g. G004)")
+    ir.add_argument("--replay", action="store_true",
+                    help="re-execute the captured step and assert outputs "
+                         "and parameter gradients match eager bit-for-bit")
+    ir.add_argument("--dot", default=None, metavar="OUT.dot",
+                    help="also write the op graph in graphviz format")
+    ir.set_defaults(func=_cmd_ir)
 
     check_model = sub.add_parser(
         "check-model",

@@ -88,7 +88,9 @@ class LayerNorm(Module):
         mean = x.mean(axis=-1, keepdims=True)
         centered = x - mean
         var = (centered * centered).mean(axis=-1, keepdims=True)
-        normed = centered / (var + self.eps).sqrt()
+        # Composed reference path for the fused kernel above; kept for
+        # gradcheck parity and `--no-fused` runs.
+        normed = centered / (var + self.eps).sqrt()  # repro: noqa[R010] reference fallback
         return normed * self.gamma + self.beta
 
 

@@ -63,7 +63,7 @@ class GRUCell(Module):
         return w, u, b
 
     @shape_spec(x="b input_dim", h_prev="b hidden_dim", returns="b hidden_dim")
-    def forward(self, x: Tensor, h_prev: Tensor,
+    def forward(self, x: Tensor, h_prev: Tensor,  # repro: noqa[R010] reference fallback for fused_gru_cell
                 packed: Optional[Tuple[Tensor, Tensor, Tensor]] = None
                 ) -> Tensor:
         """Advance one step: ``(B, D_in), (B, D_h) -> (B, D_h)``.

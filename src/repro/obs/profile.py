@@ -45,21 +45,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from . import metrics
+from .attribution import ModulePathTracker, op_name_from_backward
 
 __all__ = [
     "OpEvent", "OpStat", "OpProfiler",
     "active_profiler", "format_op_table", "format_summary_json",
 ]
-
-#: Friendly names for dunder-implemented ops, matching the FLOP model.
-_FRIENDLY = {
-    "__add__": "add", "__radd__": "add",
-    "__sub__": "sub", "__rsub__": "sub",
-    "__mul__": "mul", "__rmul__": "mul",
-    "__truediv__": "div", "__rtruediv__": "div",
-    "__neg__": "neg", "__pow__": "pow",
-    "__getitem__": "getitem", "__matmul__": "matmul",
-}
 
 
 @dataclass
@@ -146,8 +137,9 @@ class OpProfiler:
         self._installed = False
         self._t0 = 0.0
         self._mark = 0.0
-        self._module_stack: List[str] = []
-        self._name_cache: Dict[int, str] = {}
+        # Shared with chrome trace + IR capture so attribution paths
+        # cannot drift between the tools (repro.obs.attribution).
+        self._paths = ModulePathTracker()
         # id-keyed creator map would leak; Tensor now has __weakref__,
         # so a WeakKeyDictionary (identity hash) attributes backward
         # ops to the forward module without pinning tensors.
@@ -231,24 +223,15 @@ class OpProfiler:
     # Hook bodies
     # ------------------------------------------------------------------ #
     def _module_pre(self, module) -> None:
-        self._module_stack.append(type(module).__name__)
+        self._paths.push(module)
         self._mark = time.perf_counter()
 
     def _module_post(self, module) -> None:
-        if self._module_stack:
-            self._module_stack.pop()
+        self._paths.pop()
         self._mark = time.perf_counter()
 
     def _op_name(self, backward) -> str:
-        code = getattr(backward, "__code__", None)
-        key = id(code) if code is not None else id(backward)
-        name = self._name_cache.get(key)
-        if name is None:
-            qualname = getattr(backward, "__qualname__", "")
-            raw = qualname.split(".<locals>")[0].rsplit(".", 1)[-1] or "op"
-            name = _FRIENDLY.get(raw, raw)
-            self._name_cache[key] = name
-        return name
+        return op_name_from_backward(backward)
 
     def _record_forward(self, out, parents, backward) -> None:
         now = time.perf_counter()
@@ -257,7 +240,7 @@ class OpProfiler:
         flops = self._flops_for(op, [p.shape for p in parents],
                                 out.data.shape)
         nbytes = int(getattr(out.data, "nbytes", 0))
-        module = "/".join(self._module_stack)
+        module = self._paths.path()
         self._bump(op, "forward", module, wall, flops, nbytes,
                    ts=self._mark - self._t0)
         # Live-memory accounting: finalize fires when the output dies.

@@ -1,0 +1,84 @@
+"""Property-based tests for token blocking (hypothesis).
+
+The invariant that makes blocking safe as a candidate generator: with a
+permissive posting cap, any pair a dense cosine ranker would surface
+(similarity strictly positive over bag-of-words vectors, i.e. at least
+one shared token) is also produced by :func:`token_blocking`.  Blocking
+may return *more* pairs than the ranker keeps — never fewer.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import token_blocking
+from repro.align.similarity import cosine_similarity_matrix, topk_indices
+
+VOCAB = [f"tok{i}" for i in range(12)]
+
+texts = st.lists(
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=4).map(" ".join),
+    min_size=1, max_size=6,
+)
+
+
+def _bag_of_words(side1, side2):
+    """Binary token-indicator vectors over the union vocabulary.
+
+    Indicators (not counts) mirror ``token_blocking``, which tokenises
+    each text into a *set*.
+    """
+    vocab = sorted({t for text in [*side1, *side2] for t in text.split()})
+    index = {token: i for i, token in enumerate(vocab)}
+
+    def vectors(side):
+        out = np.zeros((len(side), len(vocab)))
+        for row, text in enumerate(side):
+            for token in set(text.split()):
+                out[row, index[token]] = 1.0
+        return out
+
+    return vectors(side1), vectors(side2)
+
+
+@given(texts, texts, st.integers(min_value=1, max_value=5))
+@settings(max_examples=100, deadline=None)
+def test_blocking_supersets_topk_cosine(side1, side2, k):
+    v1, v2 = _bag_of_words(side1, side2)
+    similarity = cosine_similarity_matrix(v1, v2)
+    ranked = topk_indices(similarity, k)
+
+    # max_posting >= every posting list => nothing is stop-token pruned.
+    candidates = token_blocking(side1, side2,
+                                max_posting=len(side1) + len(side2))
+
+    for i in range(len(side1)):
+        for j in ranked[i]:
+            if similarity[i, j] > 0.0:
+                assert (i, int(j)) in candidates, (
+                    f"cosine-ranked pair ({i},{j}) with similarity "
+                    f"{similarity[i, j]:.3f} missing from blocking output"
+                )
+
+
+@given(texts, texts)
+@settings(max_examples=100, deadline=None)
+def test_blocking_pairs_share_a_token(side1, side2):
+    # Soundness (the converse direction): every emitted pair really does
+    # share a token, so cosine over bag-of-words is strictly positive.
+    v1, v2 = _bag_of_words(side1, side2)
+    similarity = cosine_similarity_matrix(v1, v2)
+    candidates = token_blocking(side1, side2,
+                                max_posting=len(side1) + len(side2))
+    for i, j in candidates:
+        assert similarity[i, j] > 0.0
+
+
+@given(texts, texts, st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_pruning_only_shrinks_candidates(side1, side2, max_posting):
+    # Monotonicity: tightening the posting cap never adds pairs.
+    loose = token_blocking(side1, side2,
+                           max_posting=len(side1) + len(side2))
+    tight = token_blocking(side1, side2, max_posting=max_posting)
+    assert tight <= loose

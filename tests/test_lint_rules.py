@@ -27,7 +27,7 @@ class TestFramework:
     def test_all_rules_registered(self):
         ids = [cls.id for cls in all_rules()]
         assert ids == ["R001", "R002", "R003", "R004", "R005", "R006",
-                       "R007", "R008", "R009"]
+                       "R007", "R008", "R009", "R010"]
 
     def test_rules_have_metadata(self):
         for cls in all_rules():
@@ -546,5 +546,86 @@ class TestSingleElementConcatR009:
         violations = lint("""
         def f(x):
             return stack([x])  # repro: noqa[R009] the edge case under test
+        """)
+        assert rule_ids(violations) == []
+
+
+class TestComposedKernelSubgraphR010:
+    def test_composed_softmax_in_forward(self):
+        violations = lint("""
+        class M:
+            def forward(self, x):
+                e = x.exp()
+                return e / e.sum(axis=-1, keepdims=True)
+        """)
+        assert rule_ids(violations) == ["R010"]
+
+    def test_composed_log_softmax_in_forward(self):
+        violations = lint("""
+        class M:
+            def forward(self, x):
+                shifted = x - x.max(axis=-1, keepdims=True)
+                e = shifted.exp()
+                total = e.sum(axis=-1, keepdims=True)
+                return shifted - total.log()
+        """)
+        assert rule_ids(violations) == ["R010"]
+
+    def test_composed_layer_norm_in_forward(self):
+        violations = lint("""
+        class M:
+            def forward(self, x):
+                mean = x.mean(axis=-1, keepdims=True)
+                centered = x - mean
+                var = (centered * centered).mean(axis=-1, keepdims=True)
+                return centered / (var + self.eps).sqrt()
+        """)
+        assert rule_ids(violations) == ["R010"]
+
+    def test_composed_gru_gates_in_forward(self):
+        violations = lint("""
+        class Cell:
+            def forward(self, x, h):
+                r = (x @ self.w_r + h @ self.u_r).sigmoid()
+                z = (x @ self.w_z + h @ self.u_z).sigmoid()
+                c = (x @ self.w_h + (r * h) @ self.u_h).tanh()
+                return (1.0 - z) * h + z * c
+        """)
+        assert rule_ids(violations) == ["R010"]
+
+    def test_only_forward_methods_checked(self):
+        violations = lint("""
+        def reference_softmax(x):
+            e = x.exp()
+            return e / e.sum(axis=-1, keepdims=True)
+        """)
+        assert rule_ids(violations) == []
+
+    def test_np_sqrt_call_is_fine(self):
+        # np.sqrt(var) takes an argument; only the no-arg tensor-method
+        # spelling marks an autograd subgraph.
+        violations = lint("""
+        class M:
+            def forward(self, x):
+                mean = x.mean(axis=-1, keepdims=True)
+                return x / np.sqrt(mean)
+        """)
+        assert rule_ids(violations) == []
+
+    def test_single_sigmoid_is_fine(self):
+        violations = lint("""
+        class M:
+            def forward(self, x, h):
+                gate = (x @ self.w).sigmoid()
+                return gate * (x @ self.u).tanh()
+        """)
+        assert rule_ids(violations) == []
+
+    def test_noqa_suppresses(self):
+        violations = lint("""
+        class M:
+            def forward(self, x):
+                e = x.exp()
+                return e / e.sum(axis=-1)  # repro: noqa[R010] reference impl
         """)
         assert rule_ids(violations) == []
