@@ -1,0 +1,21 @@
+"""Shard-safety effect analysis.
+
+Interprocedural effect inference over the ``repro`` package: an AST
+call graph (:mod:`.callgraph`), a per-function effect lattice with a
+bottom-up SCC fixpoint, and findings C001–C006 verifying the code
+against the global-state manifest and ``@shard_safe`` contracts in
+:mod:`repro.concurrency` (:mod:`.analyzer`).
+
+CLI: ``repro effects [--entry NAME] [--select/--ignore Cxxx] [--format
+json]``; gated in CI through ``make effects-check``.
+"""
+
+from .analyzer import (
+    DEFAULT_ROOT, Effect, EffectReport, analyze_effects, effects_of,
+)
+from .callgraph import PackageGraph, scan_package
+
+__all__ = [
+    "DEFAULT_ROOT", "Effect", "EffectReport", "analyze_effects",
+    "effects_of", "PackageGraph", "scan_package",
+]

@@ -1,0 +1,576 @@
+"""AST call graph over the ``repro`` package.
+
+This is the substrate of the interprocedural effect analysis
+(:mod:`repro.analysis.effects.analyzer`): a whole-package scan that
+produces, per module, the import table, the module-global inventory
+(with a mutability classification), every top-level function and class
+method, and per function the set of resolvable call edges.
+
+Resolution strategy (deliberately conservative):
+
+* direct calls to names imported from package modules resolve exactly;
+* constructor calls resolve to ``Cls.__init__`` when defined;
+* ``self.meth()`` resolves within the enclosing class first, then by
+  name across the package (the superclass may define it);
+* other attribute calls (``obj.meth(...)``) resolve by *class-hierarchy
+  analysis by name*: an edge to every package class method with that
+  name.  Methods nobody defines (``list.append``, ``dict.get``, numpy
+  ufuncs) resolve to nothing and are treated as opaque/pure — their
+  effects, where relevant (RNG draws, file writes, global mutation),
+  are modelled directly by the analyzer's local-effect extraction.
+
+Nested functions fold into their enclosing top-level function: a
+decorator factory's closure is analysed as part of the factory, which
+matches how its effects escape.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "FunctionInfo", "ClassInfo", "ModuleInfo", "PackageGraph", "CallSite",
+    "GLOBAL_MUTABLE", "GLOBAL_INSTANCE", "GLOBAL_CONSTANT",
+    "GLOBAL_THREADLOCAL", "attr_chain", "scan_package", "strongly_connected",
+]
+
+# Shares the lint suppression syntax: ``# repro: noqa[C001]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9, ]+)\]")
+
+# ---- module-global mutability classification ------------------------- #
+GLOBAL_MUTABLE = "mutable-container"      # dict/list/set literal or ctor
+GLOBAL_INSTANCE = "instance"              # arbitrary object (singletons)
+GLOBAL_CONSTANT = "constant"              # scalars, tuples, regexes, locks
+GLOBAL_THREADLOCAL = "thread-local"       # threading.local()
+
+_CONSTANT_CTORS = {
+    "frozenset", "tuple", "namedtuple", "TypeVar", "compile",
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier",
+}
+_MUTABLE_CTORS = {
+    "dict", "list", "set", "defaultdict", "OrderedDict", "deque", "Counter",
+}
+
+#: Builtin container-protocol method names never resolved by CHA —
+#: calling them on an arbitrary receiver is overwhelmingly a plain
+#: dict/list/set operation, not a package method.
+_CHA_OPAQUE_METHODS = {
+    "get", "pop", "clear", "update", "setdefault", "popitem",
+    "append", "extend", "insert", "remove", "sort", "reverse",
+    "items", "keys", "values", "copy", "add", "discard",
+}
+
+
+def attr_chain(node: ast.AST) -> List[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; ``super().m`` -> ``["super()", "m"]``.
+
+    Returns ``[]`` for chains rooted in anything other than a plain name
+    (subscripts, call results, literals).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    if isinstance(node, ast.Call):
+        inner = attr_chain(node.func)
+        if inner == ["super"]:
+            parts.append("super()")
+            return list(reversed(parts))
+    return []
+
+
+@dataclass
+class FunctionInfo:
+    """One analysable function: a module function or a class method."""
+
+    module: str
+    qualname: str                 # "fn" or "Cls.fn"
+    node: ast.AST                 # FunctionDef / AsyncFunctionDef
+    cls: Optional[str]
+    params: Tuple[str, ...]
+    lineno: int
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    module: str
+    name: str
+    bases: Tuple[str, ...]        # base-class *names* (last chain part)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    path: Path
+    tree: ast.Module
+    is_package: bool = False
+    imports: Dict[str, str] = field(default_factory=dict)      # alias -> module
+    from_names: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    globals: Dict[str, str] = field(default_factory=dict)      # name -> kind
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    noqa: Dict[int, Set[str]] = field(default_factory=dict)
+    _raw_from: List[Tuple[str, str, str]] = field(default_factory=list)
+
+
+@dataclass
+class CallSite:
+    """A resolved call edge with its argument aliasing map.
+
+    ``arg_map`` maps *callee* parameter names to *caller* parameter
+    names, recorded only when the argument expression is a bare name
+    that is one of the caller's own parameters — the one level of alias
+    tracking needed to propagate ``mutates-arg`` soundly without a
+    full points-to analysis.
+    """
+
+    callee: str                   # full name "repro.x.y.fn"
+    arg_map: Dict[str, str]
+    lineno: int
+
+
+class PackageGraph:
+    """Scanned package: modules, functions, and the method-name index."""
+
+    def __init__(self, package: str, root: Path):
+        self.package = package
+        self.root = root
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._methods_by_name: Dict[str, List[FunctionInfo]] = {}
+
+    def finalize(self) -> None:
+        """Resolve deferred from-imports and build the method index."""
+        for mi in self.modules.values():
+            for target_module, orig, asname in mi._raw_from:
+                candidate = f"{target_module}.{orig}" if target_module else orig
+                if candidate in self.modules:
+                    mi.imports[asname] = candidate
+                else:
+                    mi.from_names[asname] = (target_module, orig)
+            for qualname, fi in mi.functions.items():
+                self.functions[fi.full_name] = fi
+            for ci in mi.classes.values():
+                for meth in ci.methods.values():
+                    self._methods_by_name.setdefault(meth.name, []).append(meth)
+
+    def methods_named(self, name: str) -> List[FunctionInfo]:
+        return self._methods_by_name.get(name, [])
+
+    def module_function(self, module: str, name: str) -> Optional[FunctionInfo]:
+        mi = self.modules.get(module)
+        if mi is None:
+            return None
+        return mi.functions.get(name)
+
+    def class_in(self, module: str, name: str) -> Optional[ClassInfo]:
+        mi = self.modules.get(module)
+        if mi is None:
+            return None
+        return mi.classes.get(name)
+
+
+def _module_name_for(path: Path, root: Path, package: str) -> Tuple[str, bool]:
+    rel = path.relative_to(root)
+    parts = list(rel.parts)
+    is_package = parts[-1] == "__init__.py"
+    if is_package:
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][:-3]
+    return ".".join([package] + parts), is_package
+
+
+def _resolve_relative(mi_name: str, is_package: bool, node: ast.ImportFrom) -> str:
+    if node.level == 0:
+        return node.module or ""
+    parts = mi_name.split(".")
+    # For a plain module, level 1 is its containing package; for a
+    # package (__init__), level 1 is the package itself.
+    drop = node.level if not is_package else node.level - 1
+    base = parts[: len(parts) - drop] if drop else parts
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def _classify_global(value: Optional[ast.expr]) -> str:
+    if value is None:
+        return GLOBAL_CONSTANT  # bare annotation, no binding yet
+    if isinstance(value, (ast.Dict, ast.List, ast.Set,
+                          ast.ListComp, ast.DictComp, ast.SetComp)):
+        return GLOBAL_MUTABLE
+    if isinstance(value, ast.Call):
+        chain = attr_chain(value.func)
+        last = chain[-1] if chain else ""
+        if last == "local":
+            return GLOBAL_THREADLOCAL
+        if last in _CONSTANT_CTORS:
+            return GLOBAL_CONSTANT
+        if last in _MUTABLE_CTORS:
+            return GLOBAL_MUTABLE
+        return GLOBAL_INSTANCE
+    if isinstance(value, ast.Name):
+        return GLOBAL_INSTANCE
+    return GLOBAL_CONSTANT
+
+
+def _params_of(node: ast.AST) -> Tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def _top_level_statements(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Module body plus statements nested in top-level ``if``/``try``."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            yield from _top_level_statements(stmt.body)
+            yield from _top_level_statements(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _top_level_statements(stmt.body)
+            for handler in stmt.handlers:
+                yield from _top_level_statements(handler.body)
+            yield from _top_level_statements(stmt.orelse)
+            yield from _top_level_statements(stmt.finalbody)
+
+
+def _scan_module(path: Path, root: Path, package: str) -> ModuleInfo:
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    name, is_package = _module_name_for(path, root, package)
+    mi = ModuleInfo(name=name, path=path, tree=tree, is_package=is_package)
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match:
+            codes = {code.strip() for code in match.group(1).split(",")}
+            mi.noqa[lineno] = {c for c in codes if c}
+
+    for stmt in _top_level_statements(tree.body):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                # `import a.b.c` binds `a`; `import a.b.c as m` binds the
+                # full dotted module to `m`.
+                if alias.asname is None:
+                    mi.imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+                else:
+                    mi.imports[alias.asname] = alias.name
+        elif isinstance(stmt, ast.ImportFrom):
+            target = _resolve_relative(name, is_package, stmt)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                mi._raw_from.append((target, alias.name, bound))
+        elif isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    mi.globals[tgt.id] = _classify_global(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                mi.globals[stmt.target.id] = _classify_global(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fi = FunctionInfo(module=name, qualname=stmt.name, node=stmt,
+                              cls=None, params=_params_of(stmt),
+                              lineno=stmt.lineno)
+            mi.functions[fi.qualname] = fi
+        elif isinstance(stmt, ast.ClassDef):
+            bases = tuple(chain[-1] for chain in
+                          (attr_chain(b) for b in stmt.bases) if chain)
+            ci = ClassInfo(module=name, name=stmt.name, bases=bases)
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fi = FunctionInfo(module=name,
+                                      qualname=f"{stmt.name}.{sub.name}",
+                                      node=sub, cls=stmt.name,
+                                      params=_params_of(sub),
+                                      lineno=sub.lineno)
+                    ci.methods[sub.name] = fi
+                    mi.functions[fi.qualname] = fi
+            mi.classes[stmt.name] = ci
+    return mi
+
+
+def scan_package(root: Path, package: str = "repro") -> PackageGraph:
+    """Parse every ``.py`` under ``root`` into a :class:`PackageGraph`."""
+    graph = PackageGraph(package=package, root=root)
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        mi = _scan_module(path, root, package)
+        graph.modules[mi.name] = mi
+    graph.finalize()
+    return graph
+
+
+# --------------------------------------------------------------------- #
+# Call resolution
+# --------------------------------------------------------------------- #
+class CallResolver:
+    """Resolves ``ast.Call`` nodes in one function to package edges."""
+
+    def __init__(self, graph: PackageGraph, mi: ModuleInfo, fi: FunctionInfo):
+        self.graph = graph
+        self.mi = mi
+        self.fi = fi
+
+    def resolve(self, call: ast.Call) -> List[FunctionInfo]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id)
+        chain = attr_chain(func)
+        if not chain:
+            return []
+        if chain[0] == "self" and len(chain) == 2 and self.fi.cls:
+            return self._resolve_self_method(chain[1])
+        if chain[0] == "super()" and len(chain) == 2:
+            return self._resolve_super_method(chain[1])
+        return self._resolve_attribute(chain)
+
+    # -- helpers ------------------------------------------------------- #
+    def _resolve_name(self, name: str) -> List[FunctionInfo]:
+        # Same-module function or class?
+        fi = self.mi.functions.get(name)
+        if fi is not None:
+            return [fi]
+        if name in self.mi.classes:
+            return self._constructor(self.mi.name, name)
+        # Imported from a package module?
+        if name in self.mi.from_names:
+            target_module, orig = self.mi.from_names[name]
+            if target_module in self.graph.modules:
+                fn = self.graph.module_function(target_module, orig)
+                if fn is not None:
+                    return [fn]
+                if self.graph.class_in(target_module, orig):
+                    return self._constructor(target_module, orig)
+        return []
+
+    def _constructor(self, module: str, cls: str) -> List[FunctionInfo]:
+        ci = self.graph.class_in(module, cls)
+        if ci and "__init__" in ci.methods:
+            return [ci.methods["__init__"]]
+        # Inherited __init__ within the package, by base-class name.
+        if ci:
+            for base in ci.bases:
+                for mi2 in self.graph.modules.values():
+                    base_ci = mi2.classes.get(base)
+                    if base_ci and "__init__" in base_ci.methods:
+                        return [base_ci.methods["__init__"]]
+        return []
+
+    def _resolve_self_method(self, name: str) -> List[FunctionInfo]:
+        ci = self.mi.classes.get(self.fi.cls or "")
+        if ci and name in ci.methods:
+            return [ci.methods[name]]
+        return self.graph.methods_named(name)
+
+    def _find_class(self, name: str) -> Optional["ClassInfo"]:
+        ci = self.mi.classes.get(name)
+        if ci is not None:
+            return ci
+        if name in self.mi.from_names:
+            target_module, orig = self.mi.from_names[name]
+            ci = self.graph.class_in(target_module, orig)
+            if ci is not None:
+                return ci
+        for mi2 in self.graph.modules.values():
+            if name in mi2.classes:
+                return mi2.classes[name]
+        return None
+
+    def _resolve_super_method(self, name: str) -> List[FunctionInfo]:
+        # Walk the declared base-class chain — CHA-by-name over every
+        # same-named method would drown `super().__init__()` in noise.
+        ci = self.mi.classes.get(self.fi.cls or "")
+        queue = list(ci.bases) if ci else []
+        seen: Set[str] = set()
+        result: List[FunctionInfo] = []
+        while queue:
+            base = queue.pop(0)
+            if base in seen:
+                continue
+            seen.add(base)
+            base_ci = self._find_class(base)
+            if base_ci is None:
+                continue
+            if name in base_ci.methods:
+                result.append(base_ci.methods[name])
+                continue
+            queue.extend(base_ci.bases)
+        return result
+
+    def _resolve_attribute(self, chain: List[str]) -> List[FunctionInfo]:
+        head = chain[0]
+        # Module alias: repro submodule function (possibly via a nested
+        # attribute path such as `obs.metrics.counter`).
+        module = self.mi.imports.get(head)
+        if module is not None and module.startswith(self.graph.package):
+            mod, idx = module, 1
+            while idx < len(chain) - 1 and f"{mod}.{chain[idx]}" in self.graph.modules:
+                mod = f"{mod}.{chain[idx]}"
+                idx += 1
+            if idx == len(chain) - 1:
+                fn = self.graph.module_function(mod, chain[idx])
+                if fn is not None:
+                    return [fn]
+                if self.graph.class_in(mod, chain[idx]):
+                    return self._constructor(mod, chain[idx])
+            if idx == len(chain) - 2:
+                # module.Class.method / module.Class() attribute forms
+                ci = self.graph.class_in(mod, chain[idx])
+                if ci and chain[idx + 1] in ci.methods:
+                    return [ci.methods[chain[idx + 1]]]
+            return []
+        # Imported class: Cls.method(...)
+        if head in self.mi.from_names and len(chain) == 2:
+            target_module, orig = self.mi.from_names[head]
+            ci = self.graph.class_in(target_module, orig)
+            if ci and chain[1] in ci.methods:
+                return [ci.methods[chain[1]]]
+        if head in self.mi.classes and len(chain) == 2:
+            ci = self.mi.classes[head]
+            if chain[1] in ci.methods:
+                return [ci.methods[chain[1]]]
+        # CHA by name across package classes.  Dunders are excluded:
+        # explicit `x.__init__(...)` style calls are rare and the name
+        # collides with every class in the package.  Builtin container
+        # protocol names are excluded too — `d.get(...)` on a plain dict
+        # must not resolve to every package class that happens to
+        # subclass dict/list (e.g. the race sanitizer's recorders).
+        last = chain[-1]
+        if last.startswith("__") and last.endswith("__"):
+            return []
+        if last in _CHA_OPAQUE_METHODS:
+            return []
+        return self.graph.methods_named(last)
+
+
+def call_sites(graph: PackageGraph, fi: FunctionInfo) -> List[CallSite]:
+    """Resolved call edges for one function (nested defs folded in)."""
+    mi = graph.modules[fi.module]
+    resolver = CallResolver(graph, mi, fi)
+    decorator_calls = set()
+    for node in ast.walk(fi.node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for dec in node.decorator_list:
+                for sub in ast.walk(dec):
+                    if isinstance(sub, ast.Call):
+                        decorator_calls.add(id(sub))
+    sites: List[CallSite] = []
+    caller_params = set(fi.params)
+    for node in ast.walk(fi.node):
+        if not isinstance(node, ast.Call) or id(node) in decorator_calls:
+            continue
+        callees = resolver.resolve(node)
+        if not callees:
+            continue
+        receiver = attr_chain(node.func)
+        recv_name = receiver[0] if len(receiver) == 2 else None
+        for callee in callees:
+            arg_map: Dict[str, str] = {}
+            params = list(callee.params)
+            offset = 0
+            if callee.cls and params and params[0] in ("self", "cls"):
+                if recv_name and recv_name in caller_params:
+                    arg_map[params[0]] = recv_name
+                elif recv_name == "self" and "self" in caller_params:
+                    arg_map[params[0]] = "self"
+                offset = 1
+            elif callee.cls and params and callee.name == "__init__":
+                offset = 1  # constructor call: args start at params[1]
+            for pos, arg in enumerate(node.args):
+                if isinstance(arg, ast.Starred):
+                    break
+                pidx = pos + offset
+                if pidx < len(params) and isinstance(arg, ast.Name) \
+                        and arg.id in caller_params:
+                    arg_map[params[pidx]] = arg.id
+            for kw in node.keywords:
+                if kw.arg and isinstance(kw.value, ast.Name) \
+                        and kw.value.id in caller_params:
+                    arg_map[kw.arg] = kw.value.id
+            sites.append(CallSite(callee=callee.full_name, arg_map=arg_map,
+                                  lineno=node.lineno))
+    return sites
+
+
+# --------------------------------------------------------------------- #
+# SCC condensation (iterative Tarjan)
+# --------------------------------------------------------------------- #
+def strongly_connected(nodes: Sequence[str],
+                       edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan SCCs, emitted callees-first (reverse topological order).
+
+    With edges pointing caller -> callee, each emitted component only
+    depends on previously emitted ones, so a single pass over the
+    result gives the bottom-up fixpoint order.
+    """
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+    counter = [0]
+
+    for start in nodes:
+        if start in index:
+            continue
+        work: List[Tuple[str, Iterator[str]]] = [(start, iter(sorted(edges.get(start, ()))))]
+        index[start] = lowlink[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import contextlib
 import inspect
+import threading
 from typing import Dict, Optional, Tuple
 
 from ...nn.tensor import Tensor
@@ -135,14 +136,23 @@ def shape_spec(returns: Optional[str] = None, **params: str):
     return decorate
 
 
+# Keyed by the forward function object — one entry per decorated layer
+# class, so the bound stays generous.  Shared by every thread running a
+# shape-check, hence the lock (manifest slot ``analysis.shapes.sig_cache``;
+# found by the effect analysis as an unregistered mutable-global write).
+_SIG_CACHE_MAX = 1024
+_SIG_LOCK = threading.Lock()
 _signature_cache: Dict[object, inspect.Signature] = {}
 
 
 def _bind_arguments(forward, module, args, kwargs) -> Dict[str, object]:
-    sig = _signature_cache.get(forward)
-    if sig is None:
-        sig = inspect.signature(forward)
-        _signature_cache[forward] = sig
+    with _SIG_LOCK:
+        sig = _signature_cache.get(forward)
+        if sig is None:
+            sig = inspect.signature(forward)
+            if len(_signature_cache) >= _SIG_CACHE_MAX:
+                _signature_cache.clear()
+            _signature_cache[forward] = sig
     try:
         bound = sig.bind(module, *args, **kwargs)
     except TypeError:

@@ -27,6 +27,7 @@ Usage (installed as the ``repro`` console script)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from contextlib import nullcontext
@@ -447,6 +448,67 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.violations else 0
 
 
+def _cmd_effects(args: argparse.Namespace) -> int:
+    from .analysis.effects import analyze_effects, effects_of
+    from .obs import metrics
+
+    if args.entry:
+        try:
+            pairs = effects_of(args.entry)
+        except KeyError:
+            print(f"unknown function {args.entry!r}; use the full "
+                  f"dotted name, e.g. "
+                  f"repro.align.similarity.chunked_cosine_topk",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.entry}:")
+        for rendered, origin in pairs:
+            print(f"  {rendered}  <- {origin}")
+        return 0
+    start = time.perf_counter()
+    report = analyze_effects(select=args.select, ignore=args.ignore)
+    seconds = time.perf_counter() - start
+    # Same pattern as `repro lint`: lands in the run-record metrics
+    # snapshot when an obs session is active, no-op otherwise.
+    metrics.histogram("analysis.effects_seconds").observe(seconds)
+    metrics.counter("analysis.effects_findings").inc(len(report.findings))
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.to_text(verbose=args.verbose))
+        print(f"(analyzed {report.functions} functions "
+              f"in {seconds * 1000:.0f} ms)")
+    return 1 if report.findings else 0
+
+
+def _cmd_race_check(args: argparse.Namespace) -> int:
+    from .analysis.races import default_scenarios, race_check, scenario_names
+    from .obs import metrics
+
+    scenarios = None
+    if args.scenario:
+        known = {s.name: s for s in default_scenarios()}
+        missing = [name for name in args.scenario if name not in known]
+        if missing:
+            print(f"unknown scenario(s) {missing}; choose from "
+                  f"{scenario_names()}", file=sys.stderr)
+            return 1
+        scenarios = [known[name] for name in args.scenario]
+    start = time.perf_counter()
+    report = race_check(threads=args.threads, rounds=args.rounds,
+                        scenarios=scenarios)
+    seconds = time.perf_counter() - start
+    metrics.histogram("analysis.race_check_seconds").observe(seconds)
+    metrics.counter("analysis.race_findings").inc(len(report.findings))
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.to_text())
+        print(f"(drove {report.accesses} recorded accesses "
+              f"in {seconds * 1000:.0f} ms)")
+    return 1 if report.findings else 0
+
+
 def _cmd_shape_check(args: argparse.Namespace) -> int:
     from .analysis.shapes.interpreter import (
         format_json as shapes_json,
@@ -765,6 +827,34 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--ignore", nargs="*", default=None,
                       help="skip specific rule ids (e.g. R005)")
     lint.set_defaults(func=_cmd_lint)
+
+    effects = sub.add_parser(
+        "effects", help="shard-safety effect analysis over src/repro "
+                        "(see docs/concurrency.md)"
+    )
+    effects.add_argument("--entry", default=None,
+                         help="print the inferred effects of one function "
+                              "(full dotted name) instead of gating")
+    effects.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    effects.add_argument("--verbose", action="store_true",
+                         help="list inferred effects under each contract")
+    effects.add_argument("--select", nargs="*", default=None,
+                         help="restrict to finding codes (e.g. C001 C003)")
+    effects.add_argument("--ignore", nargs="*", default=None,
+                         help="skip finding codes (e.g. C006)")
+    effects.set_defaults(func=_cmd_effects)
+
+    races = sub.add_parser(
+        "race-check", help="dynamic race sanitizer over the global-state "
+                           "manifest (see docs/concurrency.md)"
+    )
+    races.add_argument("--threads", type=int, default=8)
+    races.add_argument("--rounds", type=int, default=4)
+    races.add_argument("--scenario", nargs="*", default=None,
+                       help="run only the named scenario(s)")
+    races.add_argument("--format", choices=("text", "json"), default="text")
+    races.set_defaults(func=_cmd_race_check)
 
     shape = sub.add_parser(
         "shape-check",

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..align.evaluator import EvaluationResult
+from ..concurrency import shard_safe
 from ..kg.pair import AlignmentSplit, KGPair
 from ..obs import events, trace
 from ..obs import telemetry as telemetry_mod
@@ -245,6 +246,11 @@ def _write_run_record(result: ExperimentResult, method,
     return path
 
 
+@shard_safe(merges=("obs.metrics.registry",),
+            owns=("obs.telemetry.stream",),
+            mutates=("pair",), io=True,
+            note="installs a per-run telemetry stream; caches the "
+                 "split on the pair")
 def run_experiment(method_name: str, pair: KGPair,
                    split: Optional[AlignmentSplit] = None,
                    with_stable_matching: bool = False) -> ExperimentResult:
@@ -334,6 +340,11 @@ def run_experiment(method_name: str, pair: KGPair,
     return result
 
 
+@shard_safe(merges=("obs.metrics.registry",),
+            owns=("obs.telemetry.stream",),
+            mutates=("pair",), io=True,
+            note="per-method sweep; each method run is itself a "
+                 "shard-safe entry")
 def run_suite(method_names: Sequence[str], pair: KGPair,
               split: Optional[AlignmentSplit] = None,
               with_stable_matching: bool = False) -> List[ExperimentResult]:

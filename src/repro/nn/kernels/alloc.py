@@ -18,12 +18,18 @@ threading defaults.  On non-glibc platforms it is a silent no-op.
 
 from __future__ import annotations
 
+import threading
+
 __all__ = ["tune_allocator"]
 
 # glibc malloc.h: mallopt parameter constants.
 _M_TRIM_THRESHOLD = -1
 _M_MMAP_THRESHOLD = -3
 
+# Once-per-process latch (manifest slot ``nn.kernels.alloc_latch``).
+# Locked so two threads entering their first use_kernels() concurrently
+# cannot both run the mallopt sequence.
+_TUNE_LOCK = threading.Lock()
 _tuned = False
 
 
@@ -34,14 +40,15 @@ def tune_allocator(threshold_bytes: int = 1 << 26) -> bool:
     when the platform has no reachable ``mallopt``.
     """
     global _tuned
-    if _tuned:
+    with _TUNE_LOCK:
+        if _tuned:
+            return True
+        import ctypes
+        try:
+            libc = ctypes.CDLL("libc.so.6", use_errno=True)
+            libc.mallopt(_M_MMAP_THRESHOLD, threshold_bytes)
+            libc.mallopt(_M_TRIM_THRESHOLD, threshold_bytes)
+        except (OSError, AttributeError):
+            return False
+        _tuned = True
         return True
-    import ctypes
-    try:
-        libc = ctypes.CDLL("libc.so.6", use_errno=True)
-        libc.mallopt(_M_MMAP_THRESHOLD, threshold_bytes)
-        libc.mallopt(_M_TRIM_THRESHOLD, threshold_bytes)
-    except (OSError, AttributeError):
-        return False
-    _tuned = True
-    return True

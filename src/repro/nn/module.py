@@ -7,6 +7,7 @@ modes, and flat state dicts for serialisation.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -16,7 +17,10 @@ from .tensor import Tensor
 #: Process-global forward pre/post hooks.  Empty (the default) keeps
 #: ``Module.__call__`` on a single truthiness check; the op profiler
 #: (:mod:`repro.obs.profile`) registers a pair while active so op events
-#: can be attributed to the module that created them.
+#: can be attributed to the module that created them.  Mutation goes
+#: through ``_HOOKS_LOCK`` (manifest slot ``nn.module.forward_hooks``);
+#: ``__call__`` iterates a snapshot, so reads stay lock-free.
+_HOOKS_LOCK = threading.Lock()
 _forward_hooks: List[Tuple[Optional[Callable], Optional[Callable]]] = []
 
 
@@ -29,10 +33,11 @@ class HookHandle:
         self._entry = entry
 
     def remove(self) -> None:
-        try:
-            _forward_hooks.remove(self._entry)
-        except ValueError:
-            pass  # already removed — removal is idempotent
+        with _HOOKS_LOCK:
+            try:
+                _forward_hooks.remove(self._entry)
+            except ValueError:
+                pass  # already removed — removal is idempotent
 
 
 def register_forward_hooks(
@@ -46,7 +51,8 @@ def register_forward_hooks(
     enter/exit bookkeeping (e.g. a module stack) stays balanced.
     """
     entry = (pre, post)
-    _forward_hooks.append(entry)
+    with _HOOKS_LOCK:
+        _forward_hooks.append(entry)
     return HookHandle(entry)
 
 

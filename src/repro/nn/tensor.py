@@ -14,6 +14,7 @@ reduced back to the operand's original shape.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -25,7 +26,12 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 #: so a future float32/mixed-precision backend is a one-line switch.
 DEFAULT_DTYPE = np.float64
 
-_grad_enabled = True
+# Gradient recording is per-thread (manifest slot ``nn.grad_mode``).
+# It used to be a process-global flag, which meant an evaluation shard's
+# no_grad() window silently disabled autograd for a training step running
+# on another thread — exactly the class of bug the shard-safety effect
+# analysis exists to catch.
+_grad_state = threading.local()
 
 
 class no_grad:
@@ -35,22 +41,23 @@ class no_grad:
 
         with no_grad():
             scores = model(batch)
+
+    The flag is thread-local: disabling gradients on one thread leaves
+    every other thread's recording untouched.
     """
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = getattr(_grad_state, "enabled", True)
+        _grad_state.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _grad_state.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
-    return _grad_enabled
+    return getattr(_grad_state, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -159,7 +166,8 @@ class Tensor:
     ) -> "Tensor":
         parents = tuple(parents)
         out = Tensor(data)
-        if _grad_enabled and any(p.requires_grad for p in parents):
+        if getattr(_grad_state, "enabled", True) \
+                and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
             out._backward = backward

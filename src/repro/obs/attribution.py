@@ -20,11 +20,13 @@ vocabulary (:mod:`repro.analysis.shapes.flops`).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List
 
 __all__ = [
     "PATH_SEPARATOR", "module_label", "join_module_path",
     "ModulePathTracker", "op_name_from_backward", "FRIENDLY_OP_NAMES",
+    "NAME_CACHE_MAX", "clear_name_cache",
 ]
 
 #: Separator between module levels in an attribution path.
@@ -41,8 +43,16 @@ FRIENDLY_OP_NAMES = {
 }
 
 #: Process-level cache keyed by the backward *code object* — one entry
-#: per op definition site in the engine, so it stays tiny and the code
-#: objects it pins are module-level constants that live forever anyway.
+#: per op definition site in the engine.  Ops defined at module level
+#: keep it tiny, but dynamically built closures (fused kernels compiled
+#: per shape, test fixtures) can mint fresh code objects, so the cache
+#: is bounded; and it is shared by every thread that profiles or
+#: captures IR, so access goes through ``_NAME_LOCK`` (manifest slot
+#: ``obs.attribution.name_cache``; the unlocked version was the first
+#: defect ``repro race-check`` caught).
+NAME_CACHE_MAX = 1024
+
+_NAME_LOCK = threading.Lock()
 _NAME_CACHE: Dict[object, str] = {}
 
 
@@ -66,13 +76,25 @@ def op_name_from_backward(backward) -> str:
     """
     code = getattr(backward, "__code__", None)
     key = code if code is not None else backward
-    name = _NAME_CACHE.get(key)
-    if name is None:
-        qualname = getattr(backward, "__qualname__", "")
-        raw = qualname.split(".<locals>")[0].rsplit(".", 1)[-1] or "op"
-        name = FRIENDLY_OP_NAMES.get(raw, raw)
-        _NAME_CACHE[key] = name
+    with _NAME_LOCK:
+        name = _NAME_CACHE.get(key)
+        if name is None:
+            qualname = getattr(backward, "__qualname__", "")
+            raw = qualname.split(".<locals>")[0].rsplit(".", 1)[-1] or "op"
+            name = FRIENDLY_OP_NAMES.get(raw, raw)
+            if len(_NAME_CACHE) >= NAME_CACHE_MAX:
+                # Dropping everything is simpler than LRU bookkeeping and
+                # just as good: steady state re-fills with the ~30 engine
+                # ops in a handful of lookups.
+                _NAME_CACHE.clear()
+            _NAME_CACHE[key] = name
     return name
+
+
+def clear_name_cache() -> None:
+    """Empty the op-name cache (tests; never required for correctness)."""
+    with _NAME_LOCK:
+        _NAME_CACHE.clear()
 
 
 class ModulePathTracker:

@@ -63,10 +63,14 @@ def _label_dict(key: LabelKey) -> Dict[str, str]:
 class _Instrument:
     """Shared naming/label bookkeeping for all instrument kinds.
 
-    Updates deliberately take no lock: they are single dict/list writes,
-    which the GIL keeps coherent, and the hot paths (per-batch, per-step)
-    cannot afford lock round-trips.  Creation of instruments/series is the
-    only structurally racy part and goes through the registry lock.
+    Every update takes the per-instrument lock.  Updates used to be
+    lock-free on the theory that they are single dict writes the GIL
+    keeps coherent — but ``inc``/``observe`` are read-modify-write
+    sequences, and the shard-safety race check demonstrated lost
+    increments once two threads hammer the same series.  An uncontended
+    ``threading.Lock`` costs ~100 ns, invisible at per-batch/per-step
+    update granularity (the obs overhead guards still pass), and makes
+    every instrument safe to share across shard workers.
     """
 
     kind = "instrument"
@@ -74,6 +78,7 @@ class _Instrument:
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
+        self._update_lock = threading.Lock()
 
     def series_labels(self) -> List[Dict[str, str]]:
         """The distinct label combinations observed so far."""
@@ -93,7 +98,8 @@ class Counter(_Instrument):
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge instead")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._update_lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -124,9 +130,10 @@ class Gauge(_Instrument):
     def set(self, value: float, **labels) -> None:
         key = _label_key(labels)
         value = float(value)
-        self._values[key] = value
-        lo, hi = self._minmax.get(key, (value, value))
-        self._minmax[key] = (min(lo, value), max(hi, value))
+        with self._update_lock:
+            self._values[key] = value
+            lo, hi = self._minmax.get(key, (value, value))
+            self._minmax[key] = (min(lo, value), max(hi, value))
 
     def value(self, **labels) -> Optional[float]:
         return self._values.get(_label_key(labels))
@@ -191,15 +198,16 @@ class Histogram(_Instrument):
 
     def observe(self, value: float, **labels) -> None:
         value = float(value)
-        series = self._get_series(labels)
         idx = bisect.bisect_left(self.buckets, value)
-        series.counts[idx] += 1
-        series.count += 1
-        series.sum += value
-        if value < series.min:
-            series.min = value
-        if value > series.max:
-            series.max = value
+        with self._update_lock:
+            series = self._get_series(labels)
+            series.counts[idx] += 1
+            series.count += 1
+            series.sum += value
+            if value < series.min:
+                series.min = value
+            if value > series.max:
+                series.max = value
 
     # ------------------------------------------------------------------ #
     # Read side

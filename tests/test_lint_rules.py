@@ -27,7 +27,7 @@ class TestFramework:
     def test_all_rules_registered(self):
         ids = [cls.id for cls in all_rules()]
         assert ids == ["R001", "R002", "R003", "R004", "R005", "R006",
-                       "R007", "R008", "R009", "R010"]
+                       "R007", "R008", "R009", "R010", "R011"]
 
     def test_rules_have_metadata(self):
         for cls in all_rules():
@@ -627,5 +627,77 @@ class TestComposedKernelSubgraphR010:
             def forward(self, x):
                 e = x.exp()
                 return e / e.sum(axis=-1)  # repro: noqa[R010] reference impl
+        """)
+        assert rule_ids(violations) == []
+
+
+class TestManifestSlotBypassR011:
+    def test_class_attr_patch_outside_installer(self):
+        violations = lint("""
+        def sneaky(Tensor):
+            Tensor.backward = lambda self: None
+        """)
+        assert rule_ids(violations) == ["R011"]
+        assert "Tensor.backward" in violations[0].message
+
+    def test_class_attr_patch_from_installer_is_fine(self):
+        # The graph-capture harness patches inside __enter__/__exit__,
+        # which the manifest sanctions.
+        violations = lint("""
+        class Harness:
+            def __enter__(self):
+                from repro.nn.tensor import Tensor
+                self._saved = Tensor.backward
+                Tensor.backward = self._patched
+                return self
+
+            def __exit__(self, *exc):
+                from repro.nn.tensor import Tensor
+                Tensor.backward = self._saved
+        """)
+        assert rule_ids(violations) == []
+
+    def test_global_rebind_outside_installer(self):
+        violations = lint("""
+        _default = None
+
+        def sneaky():
+            global _default
+            _default = object()
+        """)
+        assert rule_ids(violations) == ["R011"]
+        assert "_default" in violations[0].message
+
+    def test_global_rebind_from_installer_is_fine(self):
+        violations = lint("""
+        _default = None
+
+        def set_registry(registry):
+            global _default
+            _default = registry
+        """)
+        assert rule_ids(violations) == []
+
+    def test_module_level_definition_is_fine(self):
+        # The defining assignment at module scope is the slot itself.
+        violations = lint("""
+        _default = None
+        _KERNELS = {}
+        """)
+        assert rule_ids(violations) == []
+
+    def test_local_variable_with_slot_name_is_fine(self):
+        # No `global` declaration: this is a plain local.
+        violations = lint("""
+        def compute():
+            _default = 3
+            return _default
+        """)
+        assert rule_ids(violations) == []
+
+    def test_noqa_suppresses(self):
+        violations = lint("""
+        def sneaky(Tensor):
+            Tensor.backward = None  # repro: noqa[R011] test fixture
         """)
         assert rule_ids(violations) == []

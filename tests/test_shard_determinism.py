@@ -1,0 +1,167 @@
+"""Property tests for shard-parallel determinism.
+
+The shard-safety contracts promise two things the effect analysis can
+only check statically; these properties check them by running:
+
+* ``chunked_cosine_topk`` over row shards — executed serially, or on a
+  thread pool in whatever order the scheduler picks — reassembles to
+  exactly the serial answer, so candidate generation can fan out;
+* per-shard RNG streams spawned from one ``SeedSequence`` merge to the
+  same values no matter which thread finished first, so sharded
+  dataset synthesis stays reproducible.
+
+Also pins the dataset generators' RNG plumbing: the explicit ``rng``
+parameter threads through without changing the default-seeded output
+bit for bit.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import chunked_cosine_topk
+
+shard_problems = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),   # seed
+    st.integers(min_value=4, max_value=40),          # rows of a
+    st.integers(min_value=3, max_value=25),          # rows of b
+    st.integers(min_value=2, max_value=8),           # embedding dim
+    st.integers(min_value=1, max_value=6),           # k
+    st.integers(min_value=1, max_value=5),           # shard count
+)
+
+
+def shard_bounds(n, shards):
+    """Contiguous row ranges covering ``range(n)`` (last may be short)."""
+    size = -(-n // shards)
+    return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+
+class TestShardedTopK:
+    @settings(max_examples=30, deadline=None)
+    @given(shard_problems)
+    def test_row_shards_reassemble_to_the_serial_answer(self, problem):
+        seed, n, m, dim, k, shards = problem
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, dim))
+        b = rng.normal(size=(m, dim))
+        serial_idx, serial_scores = chunked_cosine_topk(a, b, k)
+
+        bounds = shard_bounds(n, shards)
+        parts = [chunked_cosine_topk(a[lo:hi], b, k) for lo, hi in bounds]
+        idx = np.concatenate([p[0] for p in parts])
+        scores = np.concatenate([p[1] for p in parts])
+        # Rankings (hence candidate sets) reassemble exactly; scores may
+        # sit 1 ulp off the serial GEMM when a small shard takes BLAS's
+        # GEMV path (same tolerance the chunking tests use).
+        np.testing.assert_array_equal(idx, serial_idx)
+        np.testing.assert_allclose(scores, serial_scores, rtol=1e-12)
+
+        # Re-running the same sharding is bitwise reproducible.
+        again = [chunked_cosine_topk(a[lo:hi], b, k) for lo, hi in bounds]
+        np.testing.assert_array_equal(
+            scores, np.concatenate([p[1] for p in again]))
+
+    @settings(max_examples=10, deadline=None)
+    @given(shard_problems)
+    def test_thread_pool_execution_is_bitwise_stable(self, problem):
+        seed, n, m, dim, k, shards = problem
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, dim))
+        b = rng.normal(size=(m, dim))
+        serial_idx, serial_scores = chunked_cosine_topk(a, b, k)
+
+        bounds = shard_bounds(n, shards)
+        runs = []
+        for workers in (1, 2, 4):
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                parts = list(pool.map(
+                    lambda span: chunked_cosine_topk(a[span[0]:span[1]],
+                                                     b, k),
+                    bounds))
+            idx = np.concatenate([p[0] for p in parts])
+            scores = np.concatenate([p[1] for p in parts])
+            np.testing.assert_array_equal(idx, serial_idx)
+            np.testing.assert_allclose(scores, serial_scores, rtol=1e-12)
+            runs.append(scores)
+        # Thread count and completion order never change the bits.
+        np.testing.assert_array_equal(runs[0], runs[1])
+        np.testing.assert_array_equal(runs[0], runs[2])
+
+
+class TestShardedRngStreams:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=64))
+    def test_spawned_streams_merge_deterministically(self, seed, shards,
+                                                     draws):
+        def shard_draws(child_seq):
+            rng = np.random.default_rng(child_seq)
+            return rng.random(draws)
+
+        children = np.random.SeedSequence(seed).spawn(shards)
+        serial = [shard_draws(child) for child in children]
+
+        children = np.random.SeedSequence(seed).spawn(shards)
+        with ThreadPoolExecutor(max_workers=shards) as pool:
+            threaded = list(pool.map(shard_draws, children))
+
+        # Merged by shard index, the values are identical regardless of
+        # which worker thread produced them first.
+        np.testing.assert_array_equal(np.concatenate(serial),
+                                      np.concatenate(threaded))
+
+    def test_sibling_streams_are_independent(self):
+        children = np.random.SeedSequence(7).spawn(2)
+        a = np.random.default_rng(children[0]).random(16)
+        b = np.random.default_rng(children[1]).random(16)
+        assert not np.array_equal(a, b)
+
+
+class TestDatasetRngPlumbing:
+    def test_default_path_is_bitwise_stable(self):
+        from repro.datasets.synthesis import (
+            ViewConfig,
+            WorldConfig,
+            generate_pair,
+        )
+
+        first = generate_pair(WorldConfig(), ViewConfig(side=1),
+                              ViewConfig(side=2))
+        second = generate_pair(WorldConfig(), ViewConfig(side=1),
+                               ViewConfig(side=2))
+        assert first.links == second.links
+        assert first.kg1.rel_triples == second.kg1.rel_triples
+        assert first.kg2.attr_triples == second.kg2.attr_triples
+
+    def test_explicit_rng_overrides_config_seed(self):
+        from repro.datasets.synthesis import WorldConfig, generate_world
+
+        world_default = generate_world(WorldConfig(seed=23))
+        world_same = generate_world(WorldConfig(seed=99),
+                                    rng=np.random.default_rng(23))
+        world_other = generate_world(WorldConfig(seed=23),
+                                     rng=np.random.default_rng(24))
+        names = lambda w: [e.name_words for e in w.entities]  # noqa: E731
+        assert names(world_same) == names(world_default)
+        assert names(world_other) != names(world_default)
+
+    def test_explicit_rng_threads_through_generate_pair(self):
+        from repro.datasets.synthesis import (
+            ViewConfig,
+            WorldConfig,
+            generate_pair,
+        )
+
+        one = generate_pair(WorldConfig(), ViewConfig(side=1),
+                            ViewConfig(side=2),
+                            rng=np.random.default_rng(5))
+        two = generate_pair(WorldConfig(), ViewConfig(side=1),
+                            ViewConfig(side=2),
+                            rng=np.random.default_rng(5))
+        assert one.kg1.rel_triples == two.kg1.rel_triples
+        assert one.kg2.rel_triples == two.kg2.rel_triples
+        assert one.links == two.links
