@@ -94,7 +94,7 @@ def _anomaly_context(config: SDEAConfig):
     return detect_anomaly() if config.detect_anomaly else nullcontext()
 
 
-@shard_safe(merges=("obs.metrics.registry",), io=True,
+@shard_safe(merges=("obs.metrics.registry", "obs.tracing.tracer"), io=True,
             note="telemetry/prometheus emission; RNG is caller-seeded")
 def pretrain_attribute_module(
     module: AttributeEmbeddingModule,
@@ -222,7 +222,7 @@ class RelationModel:
         return np.concatenate(rows, axis=0)
 
 
-@shard_safe(merges=("obs.metrics.registry",), io=True,
+@shard_safe(merges=("obs.metrics.registry", "obs.tracing.tracer"), io=True,
             note="telemetry/prometheus emission; RNG is caller-seeded")
 def train_relation_model(
     attr1: np.ndarray,

@@ -29,11 +29,13 @@ __all__ = [
 ]
 
 DEFAULT_RUNS_DIR = "runs"
-# v1: original record shape.  v2 (this version): adds the ``telemetry``
-# digest (live-stream pointer + event counts + health-alert summary).
-# Readers must warn — not crash — on versions above their own (see
+# v1: original record shape.  v2: adds the ``telemetry`` digest
+# (live-stream pointer + event counts + health-alert summary).  v3 (this
+# version): adds the ``shards`` digest (shard count + per-shard wall
+# seconds) for runs that evaluated on a forked obs pool.  Readers must
+# warn — not crash — on versions above their own (see
 # repro.obs.compare.summarize_record).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def version_stamp(repo_root: Optional[Path] = None) -> Dict[str, object]:
@@ -87,6 +89,10 @@ class RunRecord:
     # ``*-stream.jsonl`` name, event/snapshot counts, and the health
     # engine's alert summary.
     telemetry: Dict[str, object] = dataclasses.field(default_factory=dict)
+    # Shard digest when the run evaluated on a forked obs pool
+    # (``--shards N``): ``{"count": n, "workers": [{"shard": i,
+    # "wall_seconds": ...}, ...]}``; empty for serial runs.
+    shards: Dict[str, object] = dataclasses.field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     @property
@@ -199,6 +205,14 @@ def format_record(record: RunRecord, with_spans: bool = True,
     if record.config:
         lines.append("config " + json.dumps(record.config, sort_keys=True,
                                             default=str))
+    if record.shards:
+        workers = record.shards.get("workers", [])
+        walls = "  ".join(
+            f"shard{w.get('shard', '?')}={float(w.get('wall_seconds', 0.0)):.3f}s"
+            for w in workers if isinstance(w, dict)
+        )
+        lines.append(f"shards {record.shards.get('count', len(workers))}"
+                     + (f"  {walls}" if walls else ""))
     if with_metrics and record.metrics:
         lines.append("")
         lines.append("metrics:")

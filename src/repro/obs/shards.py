@@ -1,0 +1,590 @@
+"""Fork/merge observability for sharded (thread-pool) execution.
+
+The rest of :mod:`repro.obs` is built around process-global slots — one
+registry, one tracer, one event log, one telemetry stream.  That is the
+right shape for a serial run and exactly the wrong shape for a worker
+pool: the tracer's span stack is a single list, gauge writes from two
+shards interleave, and per-worker telemetry would tear one JSONL file.
+The concurrency manifest therefore classifies the registry and tracer as
+``needs-merge-on-join`` — and this module is the merge.
+
+:func:`fork_observability` (or the :class:`ObsFork` context manager it
+returns) produces one :class:`ShardContext` per worker: a child metrics
+registry, a child tracer rooted at a ``shard[i]`` span, a buffering
+child event log, and — when the coordinator has a live telemetry stream
+— a per-worker ``…-shard<i>-stream.jsonl`` fragment.  While the fork is
+open, router proxies sit in the global slots and dispatch every call to
+the *calling thread's* shard context (a ``threading.local`` binding
+installed by ``ShardContext.__enter__``), falling back to the captured
+parent instruments for the coordinator and unrelated threads.  Code
+under test keeps calling ``metrics.counter(...)`` / ``trace.span(...)``
+unchanged.
+
+``merge_on_join`` folds everything back deterministically:
+
+* counters sum per series; histograms merge bucket-wise (exact);
+* gauges resolve by the ``(timestamp, shard index)`` tiebreak;
+* each shard's span tree is grafted under the forking span with a
+  ``shard`` attribute (one Perfetto lane per shard, see
+  :mod:`repro.obs.chrometrace`);
+* buffered events and per-worker stream fragments multiplex back in
+  ``(ts, shard, seq)`` order with a ``shard`` field in the envelope,
+  original timestamps preserved; fragment files are deleted.
+
+Merge order is fixed (shard 0, 1, …) and counters/histograms are
+commutative besides, so the merged state is independent of which worker
+finished first.  :func:`run_sharded` packages the whole dance around a
+``ThreadPoolExecutor`` and is the entry point the evaluator and the
+experiment runner fan out through.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..concurrency import shard_safe
+from . import events as events_mod
+from . import metrics as metrics_mod
+from . import telemetry as telemetry_mod
+from . import tracing as tracing_mod
+# Imported by name: ``repro.obs.session`` the *module* is shadowed on
+# the package by the ``session()`` factory function.
+from .session import active_session
+
+__all__ = [
+    "ShardContext", "ObsFork",
+    "fork_observability", "merge_on_join",
+    "run_sharded", "current_shard",
+]
+
+# Thread -> shard binding.  ``_local.ctx`` is the ShardContext the
+# current thread runs inside; absent on the coordinator and on threads
+# that are not part of a fork.  Manifest slot ``obs.shards.binding`` —
+# only ``ShardContext.__enter__``/``__exit__`` write it.
+_local = threading.local()
+
+
+def current_shard() -> Optional[int]:
+    """The calling thread's shard index, or ``None`` off the pool."""
+    ctx = getattr(_local, "ctx", None)
+    return None if ctx is None else ctx.index
+
+
+def _bound_context() -> Optional["ShardContext"]:
+    return getattr(_local, "ctx", None)
+
+
+# ---------------------------------------------------------------------- #
+# Per-worker child instruments
+# ---------------------------------------------------------------------- #
+class _BufferSink:
+    """Event sink that holds records for the join-time multiplex."""
+
+    __slots__ = ("records",)
+
+    def __init__(self):
+        self.records: List[Dict[str, object]] = []
+
+    def __call__(self, record: Dict[str, object]) -> None:
+        self.records.append(dict(record))
+
+
+class _ShardStream(telemetry_mod.TelemetryStream):
+    """Per-worker stream fragment: raw events only.
+
+    No snapshotter, no Prometheus sibling, no health engine — those stay
+    coordinator-owned.  Every event gets a ``shard`` envelope field; the
+    join reads the fragment back, multiplexes it into the parent stream
+    with original timestamps, and deletes the file.
+    """
+
+    def __init__(self, path, shard: int):
+        super().__init__(path, registry=None, snapshot_seconds=None,
+                         prom_path=False, engine=None)
+        self.shard = shard
+
+    def emit(self, event: str, **fields) -> None:
+        fields.setdefault("shard", self.shard)
+        super().emit(event, **fields)
+
+    def close(self, final_snapshot: bool = True) -> None:
+        # A fragment is not a stream: no final snapshot, no stream_end.
+        if self._closed:
+            return
+        self._fh.close()
+        self._closed = True
+
+
+class ShardContext:
+    """One worker's observability bundle.
+
+    Child instruments exist only where the forked parent is live, so a
+    fork over the default no-op stack allocates nothing and records
+    nothing.  Entering the context binds the calling thread to this
+    shard (the routers then dispatch to these children); exiting unbinds
+    and accumulates the worker's wall seconds for the join digest.
+    """
+
+    def __init__(self, fork: "ObsFork", index: int):
+        self.fork = fork
+        self.index = index
+        self.wall_seconds = 0.0
+        self._previous: Optional["ShardContext"] = None
+        self._t0 = 0.0
+
+        self.registry: Optional[metrics_mod.Registry] = (
+            metrics_mod.Registry() if fork.parent_registry.enabled else None
+        )
+
+        self.tracer: Optional[tracing_mod.Tracer] = None
+        if fork.parent_tracer.enabled:
+            self.tracer = tracing_mod.Tracer(
+                trace_alloc=fork.parent_tracer.trace_alloc)
+            # Root the child tree at the shard span so every worker span
+            # lands under ``shard[i]`` and the join can graft the whole
+            # tree in one move with shard attribution.
+            self.tracer.root.name = f"shard[{index}]"
+            self.tracer.root.attrs["shard"] = index
+
+        self._event_buffer: Optional[_BufferSink] = None
+        self.events: Optional[events_mod.EventLog] = None
+        if fork.parent_events.enabled:
+            self._event_buffer = _BufferSink()
+            self.events = events_mod.EventLog([self._event_buffer])
+
+        self.stream: Optional[_ShardStream] = None
+        parent_stream = fork.parent_stream
+        if isinstance(parent_stream, telemetry_mod.TelemetryStream):
+            name = parent_stream.path.name
+            if name.endswith(telemetry_mod.STREAM_SUFFIX):
+                stem = name[: -len(telemetry_mod.STREAM_SUFFIX)]
+            else:
+                stem = parent_stream.path.stem
+            self.stream = _ShardStream(
+                parent_stream.path.with_name(
+                    f"{stem}-shard{index}{telemetry_mod.STREAM_SUFFIX}"),
+                index,
+            )
+
+    def __enter__(self) -> "ShardContext":
+        self._previous = getattr(_local, "ctx", None)
+        _local.ctx = self
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_seconds += time.perf_counter() - self._t0
+        _local.ctx = self._previous
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# Router proxies: installed in the global slots while a fork is open
+# ---------------------------------------------------------------------- #
+class _RouterRegistry(metrics_mod.Registry):
+    """Dispatches each registry call to the calling thread's shard."""
+
+    def __init__(self, parent: metrics_mod.Registry):
+        super().__init__()
+        self._parent = parent
+
+    def _target(self) -> metrics_mod.Registry:
+        ctx = _bound_context()
+        if ctx is not None and ctx.registry is not None:
+            return ctx.registry
+        return self._parent
+
+    @property
+    def enabled(self) -> bool:
+        return self._target().enabled
+
+    def counter(self, name, help=""):
+        return self._target().counter(name, help)
+
+    def gauge(self, name, help=""):
+        return self._target().gauge(name, help)
+
+    def histogram(self, name, help="", buckets=None):
+        return self._target().histogram(name, help, buckets=buckets)
+
+    def names(self):
+        return self._target().names()
+
+    def get(self, name):
+        return self._target().get(name)
+
+    def reset(self):
+        self._target().reset()
+
+    def merge_from(self, other, rank=0):
+        self._target().merge_from(other, rank=rank)
+
+    def snapshot(self):
+        return self._target().snapshot()
+
+    def compact_snapshot(self):
+        return self._target().compact_snapshot()
+
+
+class _RouterTracer(tracing_mod.Tracer):
+    """Dispatches each tracer call to the calling thread's shard.
+
+    Deliberately skips ``Tracer.__init__``: the router owns no tree of
+    its own — every attribute anyone reads (``root``, ``_stack``,
+    ``trace_alloc``) resolves against the routed target, so span context
+    managers created through the router push/pop on the right stack.
+    """
+
+    # pylint: disable=super-init-not-called
+    def __init__(self, parent: tracing_mod.Tracer):
+        self._parent = parent
+
+    def _target(self) -> tracing_mod.Tracer:
+        ctx = _bound_context()
+        if ctx is not None and ctx.tracer is not None:
+            return ctx.tracer
+        return self._parent
+
+    @property
+    def enabled(self) -> bool:
+        return self._target().enabled
+
+    @property
+    def trace_alloc(self) -> bool:
+        return self._target().trace_alloc
+
+    @property
+    def root(self):
+        return self._target().root
+
+    @property
+    def _stack(self):
+        return self._target()._stack
+
+    def span(self, name, **attrs):
+        return self._target().span(name, **attrs)
+
+    def current(self):
+        return self._target().current()
+
+    def reset(self):
+        self._target().reset()
+
+    def to_dict(self):
+        return self._target().to_dict()
+
+    def write_jsonl(self, stream):
+        return self._target().write_jsonl(stream)
+
+    def report(self, min_wall: float = 0.0) -> str:
+        return self._target().report(min_wall=min_wall)
+
+
+class _RouterEventLog(events_mod.EventLog):
+    """Dispatches each event-log call to the calling thread's shard."""
+
+    # pylint: disable=super-init-not-called
+    def __init__(self, parent: events_mod.EventLog):
+        self._parent = parent
+
+    def _target(self) -> events_mod.EventLog:
+        ctx = _bound_context()
+        if ctx is not None and ctx.events is not None:
+            return ctx.events
+        return self._parent
+
+    @property
+    def enabled(self) -> bool:
+        return self._target().enabled
+
+    @property
+    def sinks(self):
+        return self._target().sinks
+
+    def add_sink(self, sink):
+        self._target().add_sink(sink)
+
+    def log(self, level, event, **fields):
+        self._target().log(level, event, **fields)
+
+    def append_raw(self, record):
+        self._target().append_raw(record)
+
+    def every(self, n, event, level=events_mod.DEBUG, **fields):
+        self._target().every(n, event, level=level, **fields)
+
+    def close(self):
+        self._target().close()
+
+
+class _RouterStream:
+    """Dispatches each telemetry call to the calling thread's shard.
+
+    Duck-typed like :class:`TelemetryStream`/:class:`NullStream`; only
+    installed when the coordinator holds a real stream, so
+    ``telemetry.is_active()`` stays truthful.
+    """
+
+    __slots__ = ("_parent",)
+
+    def __init__(self, parent):
+        self._parent = parent
+
+    def _target(self):
+        ctx = _bound_context()
+        if ctx is not None and ctx.stream is not None:
+            return ctx.stream
+        return self._parent
+
+    @property
+    def events_written(self):
+        return self._target().events_written
+
+    @property
+    def snapshots_written(self):
+        return self._target().snapshots_written
+
+    @property
+    def engine(self):
+        return self._target().engine
+
+    def emit(self, event, **fields):
+        self._target().emit(event, **fields)
+
+    def append_raw(self, record):
+        self._target().append_raw(record)
+
+    def snapshot(self):
+        self._target().snapshot()
+
+    def maybe_snapshot(self):
+        return self._target().maybe_snapshot()
+
+    def close(self, final_snapshot: bool = True):
+        self._target().close(final_snapshot=final_snapshot)
+
+
+# ---------------------------------------------------------------------- #
+# The fork itself
+# ---------------------------------------------------------------------- #
+class ObsFork:
+    """Forked observability over the ambient obs stack.
+
+    ``with ObsFork(n) as fork:`` opens a ``fork[<label>]`` span on the
+    parent tracer, installs the routers, and exposes ``fork.contexts``
+    — one :class:`ShardContext` per shard for workers to enter.  Exit
+    merges everything back (:meth:`merge`, idempotent) and closes the
+    fork span, so the join cost is visible inside the forking span.
+
+    Nested forks are supported: if the slots already hold routers (an
+    outer fork is open), the inner fork installs nothing — the existing
+    routers dispatch through the same thread binding, and the inner
+    merge folds into whatever the forking thread is bound to.
+    """
+
+    def __init__(self, shards: int, label: str = "fork"):
+        if shards < 1:
+            raise ValueError("a fork needs at least one shard")
+        self.shards = shards
+        self.label = label
+        self.parent_registry = metrics_mod.get_registry()
+        self.parent_tracer = tracing_mod.get_tracer()
+        self.parent_events = events_mod.get_event_log()
+        self.parent_stream = telemetry_mod.get_stream()
+        self.merged = False
+        self.digest: Dict[str, object] = {}
+        self._saved: List = []
+        self._span_cm = None
+        self._fork_node: Optional[tracing_mod.SpanNode] = None
+        self.contexts = [ShardContext(self, i) for i in range(shards)]
+
+    def __enter__(self) -> "ObsFork":
+        self._span_cm = self.parent_tracer.span(
+            f"fork[{self.label}]", shards=self.shards)
+        self._fork_node = self._span_cm.__enter__()
+        self._install()
+        return self
+
+    def _install(self) -> None:
+        installs = []
+        if (self.parent_registry.enabled
+                and not isinstance(self.parent_registry, _RouterRegistry)):
+            installs.append((metrics_mod.set_registry,
+                             _RouterRegistry(self.parent_registry)))
+        if (self.parent_tracer.enabled
+                and not isinstance(self.parent_tracer, _RouterTracer)):
+            installs.append((tracing_mod.set_tracer,
+                             _RouterTracer(self.parent_tracer)))
+        if (self.parent_events.enabled
+                and not isinstance(self.parent_events, _RouterEventLog)):
+            installs.append((events_mod.set_event_log,
+                             _RouterEventLog(self.parent_events)))
+        if (isinstance(self.parent_stream, telemetry_mod.TelemetryStream)
+                and not isinstance(self.parent_stream, _ShardStream)):
+            installs.append((telemetry_mod.set_stream,
+                             _RouterStream(self.parent_stream)))
+        self._saved = [(setter, setter(router)) for setter, router in installs]
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        try:
+            self.merge()
+        finally:
+            if self._span_cm is not None:
+                self._span_cm.__exit__(exc_type, exc, tb)
+                self._span_cm = None
+        return False
+
+    # ------------------------------------------------------------------ #
+    # The join
+    # ------------------------------------------------------------------ #
+    def merge(self) -> Dict[str, object]:
+        """Fold every child back into the parents (idempotent).
+
+        Restores the router-free slots first, then merges in fixed shard
+        order: registries (counter sums, exact histogram merges, gauge
+        ``(timestamp, shard)`` tiebreaks), span trees grafted under the
+        forking span, buffered events and stream fragments multiplexed
+        in ``(ts, shard, seq)`` order.  Returns — and records on the
+        active session as ``last_shards`` — the per-shard timing digest
+        that lands in the run record.
+        """
+        if self.merged:
+            return self.digest
+        self.merged = True
+        for setter, previous in reversed(self._saved):
+            setter(previous)
+        self._saved = []
+
+        workers = []
+        for ctx in self.contexts:
+            workers.append({"shard": ctx.index,
+                            "wall_seconds": ctx.wall_seconds})
+            if ctx.registry is not None:
+                self.parent_registry.merge_from(ctx.registry, rank=ctx.index)
+            if ctx.tracer is not None and self._fork_node is not None:
+                shard_root = ctx.tracer.root
+                shard_root.calls = max(shard_root.calls, 1)
+                shard_root.wall = max(shard_root.wall, ctx.wall_seconds)
+                self._fork_node.child(shard_root.name).merge_from(shard_root)
+
+        self._merge_events()
+        self._merge_streams()
+
+        self.digest = {"count": self.shards, "workers": workers}
+        session = active_session()
+        if session is not None:
+            session.last_shards = self.digest
+        return self.digest
+
+    def _merge_events(self) -> None:
+        staged = []
+        for ctx in self.contexts:
+            if ctx._event_buffer is None:
+                continue
+            for seq, record in enumerate(ctx._event_buffer.records):
+                record.setdefault("shard", ctx.index)
+                staged.append(((record.get("ts", 0.0), ctx.index, seq),
+                               record))
+            ctx._event_buffer.records = []
+        for _, record in sorted(staged, key=lambda item: item[0]):
+            self.parent_events.append_raw(record)
+
+    def _merge_streams(self) -> None:
+        staged = []
+        had_fragments = False
+        for ctx in self.contexts:
+            if ctx.stream is None:
+                continue
+            had_fragments = True
+            ctx.stream.close()
+            try:
+                records = telemetry_mod.read_stream(
+                    ctx.stream.path, on_warning=lambda message: None)
+            except OSError:
+                records = []
+            for seq, record in enumerate(records):
+                record.setdefault("shard", ctx.index)
+                staged.append(((record.get("ts", 0.0), ctx.index, seq),
+                               record))
+            try:
+                ctx.stream.path.unlink()
+            except OSError:
+                pass
+        if not had_fragments:
+            return
+        if not isinstance(self.parent_stream, telemetry_mod.TelemetryStream):
+            return
+        for _, record in sorted(staged, key=lambda item: item[0]):
+            self.parent_stream.append_raw(record)
+        self.parent_stream.emit("shard_join", label=self.label,
+                                shards=self.shards, events=len(staged))
+
+
+def fork_observability(shards: int, label: str = "fork") -> ObsFork:
+    """Create an :class:`ObsFork` with ``shards`` child contexts.
+
+    Use as a context manager (``with fork_observability(4) as fork:``)
+    or pair it manually with :func:`merge_on_join`.
+    """
+    return ObsFork(shards, label=label)
+
+
+def merge_on_join(fork: ObsFork) -> Dict[str, object]:
+    """Merge a fork's children back into the ambient stack (idempotent).
+
+    Equivalent to leaving the ``with`` block, for callers that manage
+    the fork by hand; returns the per-shard timing digest.
+    """
+    return fork.merge()
+
+
+@shard_safe(
+    merges=("obs.metrics.registry", "obs.tracing.tracer"),
+    owns=("obs.events.log", "obs.telemetry.stream"),
+    io=True,
+    note="forks the obs stack per worker thread and merges it "
+         "deterministically on join; io is the per-worker stream fragments",
+)
+def run_sharded(fn: Callable, items: Iterable, shards: Optional[int] = None,
+                label: str = "pool") -> List:
+    """Run ``fn(item)`` over ``items`` on a sharded worker pool.
+
+    Item ``j`` goes to shard ``j % shards``; results return in original
+    item order regardless of completion order, and observability forks
+    per worker and merges on join (counters/histograms are commutative
+    and the merge runs in shard order, so the merged state is
+    scheduler-independent).  ``shards`` clamps to the item count;
+    ``shards <= 1`` degrades to a plain serial loop with no fork.  A
+    worker exception propagates after the join, so the merged
+    observability still describes the partial run.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if shards is None:
+        shards = len(items)
+    shards = max(1, min(int(shards), len(items)))
+    if shards == 1:
+        return [fn(item) for item in items]
+
+    results: List = [None] * len(items)
+    bundles = [[(j, items[j]) for j in range(i, len(items), shards)]
+               for i in range(shards)]
+
+    def worker(ctx: ShardContext, bundle) -> None:
+        with ctx:
+            for index, item in bundle:
+                results[index] = fn(item)
+
+    with ObsFork(shards, label=label) as fork:
+        with ThreadPoolExecutor(max_workers=shards) as pool:
+            futures = [pool.submit(worker, fork.contexts[i], bundles[i])
+                       for i in range(shards)]
+        errors = [future.exception() for future in futures]
+    for error in errors:
+        if error is not None:
+            raise error
+    return results

@@ -1,0 +1,595 @@
+"""Fork/merge observability (repro.obs.shards).
+
+Four layers of guarantees, pinned bottom-up:
+
+* the merge *algebra* — counters sum, histograms merge bucket-exact
+  (associative + commutative, property-tested with dyadic values so
+  float sums are exact), gauges resolve by the ``(timestamp, shard)``
+  tiebreak, span trees graft with shard attribution;
+* the *fork machinery* — routers dispatch per thread, events and stream
+  fragments multiplex back in ``(ts, shard, seq)`` order, fragments are
+  deleted, the join survives an 8-thread hammer;
+* the *instrumented parallel paths* — sharded ``evaluate_embeddings``
+  and ``run_suite`` return bitwise-identical results and identical
+  merged counter/histogram totals vs. their serial runs at 1, 2 and 8
+  shards;
+* the *surfaces* — chrome-trace shard lanes and the run-record shard
+  digest (schema v3, backward-compatible loader).
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.align.evaluator import evaluate_embeddings
+from repro.obs import events as events_mod
+from repro.obs import metrics as metrics_mod
+from repro.obs import telemetry as telemetry_mod
+from repro.obs import tracing as tracing_mod
+from repro.obs.chrometrace import (
+    _SHARD_TID_BASE,
+    build_chrome_trace,
+    span_tree_to_events,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry
+from repro.obs.runrecord import SCHEMA_VERSION, RunRecord
+from repro.obs.shards import (
+    ObsFork,
+    current_shard,
+    fork_observability,
+    merge_on_join,
+    run_sharded,
+)
+
+# Dyadic rationals: every pairwise sum is exact in binary floating
+# point, so "merged sum == serial sum" can be asserted with ``==``.
+dyadic = st.integers(min_value=0, max_value=2**20).map(lambda i: i / 1024)
+
+
+# ---------------------------------------------------------------------- #
+# Merge algebra
+# ---------------------------------------------------------------------- #
+class TestCounterMerge:
+    def test_series_sum(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(2.0)
+        a.inc(1.0, phase="x")
+        b.inc(3.0)
+        b.inc(5.0, phase="y")
+        a.merge_from(b)
+        assert a.value() == 5.0
+        assert a.value(phase="x") == 1.0
+        assert a.value(phase="y") == 5.0
+
+    def test_merge_into_empty_equals_copy(self):
+        src, dst = Counter("c"), Counter("c")
+        src.inc(7.0, k="v")
+        dst.merge_from(src)
+        assert dst.value(k="v") == 7.0
+        assert src.value(k="v") == 7.0  # source untouched
+
+
+class TestGaugeMerge:
+    @staticmethod
+    def _stamped(value, ts):
+        gauge = Gauge("g")
+        gauge.set(value)
+        key = next(iter(gauge._stamps))
+        gauge._stamps[key] = (ts, -1)
+        return gauge
+
+    def test_equal_timestamps_resolve_by_shard_rank(self):
+        low, high = self._stamped(10.0, ts=100.0), self._stamped(20.0, ts=100.0)
+        merged = Gauge("g")
+        merged.merge_from(low, rank=0)
+        merged.merge_from(high, rank=1)
+        assert merged.value() == 20.0
+        # ...independent of merge order.
+        other = Gauge("g")
+        other.merge_from(high, rank=1)
+        other.merge_from(low, rank=0)
+        assert other.value() == 20.0
+
+    def test_later_timestamp_beats_higher_rank(self):
+        early_high_rank = self._stamped(10.0, ts=100.0)
+        late_low_rank = self._stamped(20.0, ts=200.0)
+        merged = Gauge("g")
+        merged.merge_from(early_high_rank, rank=7)
+        merged.merge_from(late_low_rank, rank=0)
+        assert merged.value() == 20.0
+
+    def test_minmax_envelope_unions(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1.0)
+        a.set(5.0)
+        b.set(-3.0)
+        a.merge_from(b, rank=1)
+        (series,) = a.snapshot()["series"]
+        assert (series["min"], series["max"]) == (-3.0, 5.0)
+
+
+class TestHistogramMerge:
+    BOUNDS = (1.0, 2.0, 4.0)
+
+    def _observe(self, values):
+        hist = Histogram("h", buckets=self.BOUNDS)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_bucket_wise_exact(self):
+        a = self._observe([0.5, 1.5, 100.0])
+        b = self._observe([0.7, 3.0])
+        a.merge_from(b)
+        assert a.count() == 5
+        assert a.sum() == 0.5 + 1.5 + 100.0 + 0.7 + 3.0
+        (series,) = a.snapshot()["series"]
+        assert (series["min"], series["max"]) == (0.5, 100.0)
+        # Per-bucket integer counts: (<=1, <=2, <=4, overflow).
+        key = next(iter(a._series))
+        assert a._series[key].counts == [2, 1, 1, 1]
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="bucket bounds"):
+            a.merge_from(b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(dyadic, max_size=30), st.lists(dyadic, max_size=30))
+    def test_merge_is_commutative(self, xs, ys):
+        ab = self._observe(xs)
+        ab.merge_from(self._observe(ys))
+        ba = self._observe(ys)
+        ba.merge_from(self._observe(xs))
+        assert ab.snapshot() == ba.snapshot()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(dyadic, max_size=20), st.lists(dyadic, max_size=20),
+           st.lists(dyadic, max_size=20))
+    def test_merge_is_associative(self, xs, ys, zs):
+        left = self._observe(xs)
+        left.merge_from(self._observe(ys))
+        left.merge_from(self._observe(zs))
+        inner = self._observe(ys)
+        inner.merge_from(self._observe(zs))
+        right = self._observe(xs)
+        right.merge_from(inner)
+        assert left.snapshot() == right.snapshot()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.lists(dyadic, max_size=20), max_size=5))
+    def test_sharded_observations_merge_to_the_serial_histogram(self, shards):
+        serial = self._observe([v for shard in shards for v in shard])
+        merged = Histogram("h", buckets=self.BOUNDS)
+        for shard in shards:
+            merged.merge_from(self._observe(shard))
+        assert merged.snapshot() == serial.snapshot()
+
+
+class TestRegistryAndSpanMerge:
+    def test_registry_merge_creates_missing_instruments(self):
+        parent, child = Registry(), Registry()
+        child.counter("only.in.child").inc(3.0)
+        child.histogram("h").observe(0.5)
+        child.gauge("g").set(9.0)
+        parent.merge_from(child, rank=2)
+        assert parent.counter("only.in.child").value() == 3.0
+        assert parent.histogram("h").count() == 1
+        assert parent.gauge("g").value() == 9.0
+
+    def test_span_graft_sums_and_keeps_shard_attr(self):
+        tracer = tracing_mod.Tracer()
+        with tracer.span("fork[x]"):
+            pass
+        fork_node = tracer.root.children["fork[x]"]
+
+        shard = tracing_mod.Tracer()
+        shard.root.name = "shard[3]"
+        shard.root.attrs["shard"] = 3
+        with shard.span("work"):
+            pass
+        with shard.span("work"):
+            pass
+        shard.root.calls = 1
+
+        fork_node.child(shard.root.name).merge_from(shard.root)
+        grafted = fork_node.children["shard[3]"]
+        assert grafted.attrs["shard"] == 3
+        assert grafted.children["work"].calls == 2
+
+
+# ---------------------------------------------------------------------- #
+# Fork machinery
+# ---------------------------------------------------------------------- #
+class TestForkMachinery:
+    def test_fork_over_noop_stack_allocates_nothing(self):
+        with fork_observability(3) as fork:
+            for ctx in fork.contexts:
+                assert ctx.registry is None
+                assert ctx.tracer is None
+                assert ctx.events is None
+                assert ctx.stream is None
+
+    def test_fork_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            ObsFork(0)
+
+    def test_counters_route_per_thread_and_sum_on_join(self):
+        with obs.session(runs_dir=None) as sess:
+            with fork_observability(2, label="t") as fork:
+                def worker(ctx, amount):
+                    with ctx:
+                        assert current_shard() == ctx.index
+                        metrics_mod.counter("t.work").inc(amount)
+                threads = [
+                    threading.Thread(target=worker,
+                                     args=(fork.contexts[i], float(i + 1)))
+                    for i in range(2)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                # Coordinator writes go to the parent, not a shard.
+                metrics_mod.counter("t.coordinator").inc()
+            assert current_shard() is None
+            assert sess.registry.counter("t.work").value() == 3.0
+            assert sess.registry.counter("t.coordinator").value() == 1.0
+
+    def test_merge_is_idempotent_and_restores_slots(self):
+        with obs.session(runs_dir=None) as sess:
+            fork = fork_observability(2)
+            fork.__enter__()
+            assert metrics_mod.get_registry() is not sess.registry
+            with fork.contexts[0]:
+                metrics_mod.counter("idem.c").inc()
+            digest = merge_on_join(fork)
+            assert metrics_mod.get_registry() is sess.registry
+            assert merge_on_join(fork) is digest  # second join is a no-op
+            fork.__exit__(None, None, None)
+            assert sess.registry.counter("idem.c").value() == 1.0
+            assert digest["count"] == 2
+            assert [w["shard"] for w in digest["workers"]] == [0, 1]
+            assert sess.last_shards is digest
+
+    def test_spans_graft_under_fork_span_with_shard_attrs(self):
+        with obs.session(runs_dir=None) as sess:
+            with fork_observability(2, label="ev") as fork:
+                for ctx in fork.contexts:
+                    with ctx:
+                        with tracing_mod.get_tracer().span("step"):
+                            pass
+            fork_node = sess.tracer.root.children["fork[ev]"]
+            assert fork_node.attrs["shards"] == 2
+            for i in range(2):
+                shard_node = fork_node.children[f"shard[{i}]"]
+                assert shard_node.attrs["shard"] == i
+                assert shard_node.children["step"].calls == 1
+
+    def test_events_multiplex_in_ts_shard_seq_order(self):
+        captured = []
+        parent = events_mod.EventLog([captured.append])
+        previous = events_mod.set_event_log(parent)
+        try:
+            with fork_observability(2) as fork:
+                with fork.contexts[1]:
+                    events_mod.info("late", step=1)
+                with fork.contexts[0]:
+                    events_mod.info("early", step=0)
+                # Rewrite timestamps so order is decided by ts, not by
+                # emission order: shard 0's event is older.
+                fork.contexts[0]._event_buffer.records[0]["ts"] = 1.0
+                fork.contexts[1]._event_buffer.records[0]["ts"] = 2.0
+        finally:
+            events_mod.set_event_log(previous)
+        assert [(r["event"], r["shard"]) for r in captured] == [
+            ("early", 0), ("late", 1)]
+
+    def test_equal_ts_events_order_by_shard_then_seq(self):
+        captured = []
+        parent = events_mod.EventLog([captured.append])
+        previous = events_mod.set_event_log(parent)
+        try:
+            with fork_observability(2) as fork:
+                with fork.contexts[1]:
+                    events_mod.info("b0")
+                    events_mod.info("b1")
+                with fork.contexts[0]:
+                    events_mod.info("a0")
+                for ctx in fork.contexts:
+                    for record in ctx._event_buffer.records:
+                        record["ts"] = 5.0
+        finally:
+            events_mod.set_event_log(previous)
+        assert [r["event"] for r in captured] == ["a0", "b0", "b1"]
+
+    def test_stream_fragments_multiplex_and_are_deleted(self, tmp_path):
+        path = tmp_path / "run-stream.jsonl"
+        parent = telemetry_mod.TelemetryStream(path, snapshot_seconds=None)
+        previous = telemetry_mod.set_stream(parent)
+        try:
+            with fork_observability(2, label="mux") as fork:
+                fragments = [ctx.stream.path for ctx in fork.contexts]
+                assert fragments[0].name == "run-shard0-stream.jsonl"
+                with fork.contexts[0]:
+                    telemetry_mod.emit("work", step=1)
+                with fork.contexts[1]:
+                    telemetry_mod.emit("work", step=2)
+            assert all(not fragment.exists() for fragment in fragments)
+            parent.close()
+            records = telemetry_mod.read_stream(path)
+        finally:
+            telemetry_mod.set_stream(previous)
+        work = [r for r in records if r["event"] == "work"]
+        assert [(r["shard"], r["step"]) for r in work] == [(0, 1), (1, 2)]
+        assert all("ts" in r for r in work)
+        (join,) = [r for r in records if r["event"] == "shard_join"]
+        assert join["shards"] == 2 and join["events"] == 2
+
+    def test_nested_fork_reuses_outer_routers(self):
+        with obs.session(runs_dir=None) as sess:
+            with fork_observability(2) as outer:
+                outer_router = metrics_mod.get_registry()
+                with fork_observability(2) as inner:
+                    assert metrics_mod.get_registry() is outer_router
+                    with inner.contexts[0]:
+                        metrics_mod.counter("nested.c").inc()
+                # Inner merge folded into the coordinator's binding (the
+                # parent registry — this thread is unbound).
+            assert sess.registry.counter("nested.c").value() == 1.0
+
+
+class TestForkMergeHammer:
+    THREADS = 8
+
+    def test_hammered_fork_counts_nothing_twice(self):
+        with obs.session(runs_dir=None) as sess:
+            with fork_observability(self.THREADS, label="hammer") as fork:
+                barrier = threading.Barrier(self.THREADS)
+
+                def worker(ctx):
+                    with ctx:
+                        barrier.wait()
+                        for _ in range(200):
+                            metrics_mod.counter("hammer.total").inc()
+                            metrics_mod.counter(
+                                "hammer.by_shard").inc(shard=str(ctx.index))
+                            metrics_mod.histogram("hammer.h").observe(0.5)
+
+                threads = [threading.Thread(target=worker, args=(ctx,))
+                           for ctx in fork.contexts]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            registry = sess.registry
+            assert registry.counter("hammer.total").value() == 200.0 * self.THREADS
+            assert registry.histogram("hammer.h").count() == 200 * self.THREADS
+            for i in range(self.THREADS):
+                assert registry.counter("hammer.by_shard").value(
+                    shard=str(i)) == 200.0
+
+    def test_run_sharded_under_repeated_hammer_rounds(self):
+        for _ in range(3):
+            with obs.session(runs_dir=None) as sess:
+                def work(item):
+                    metrics_mod.counter("rs.items").inc()
+                    return item * item
+
+                results = run_sharded(work, range(40), shards=self.THREADS)
+                assert results == [i * i for i in range(40)]
+                assert sess.registry.counter("rs.items").value() == 40.0
+
+
+class TestRunSharded:
+    def test_results_keep_item_order_despite_scheduling(self):
+        def slow_for_even(item):
+            if item % 2 == 0:
+                time.sleep(0.005)
+            return item * 10
+
+        assert run_sharded(slow_for_even, range(10), shards=4) == [
+            i * 10 for i in range(10)]
+
+    def test_empty_items_and_serial_degradation(self):
+        assert run_sharded(lambda x: x, [], shards=4) == []
+        assert run_sharded(lambda x: x + 1, [1, 2], shards=1) == [2, 3]
+        # shards clamp to the item count.
+        assert run_sharded(lambda x: x, [1], shards=8) == [1]
+
+    def test_worker_exception_propagates_after_the_join(self):
+        with obs.session(runs_dir=None) as sess:
+            def explode(item):
+                metrics_mod.counter("boom.attempts").inc()
+                if item == 3:
+                    raise RuntimeError("shard boom")
+                return item
+
+            with pytest.raises(RuntimeError, match="shard boom"):
+                run_sharded(explode, range(6), shards=2)
+            # The join still merged the partial run's observability.
+            assert sess.registry.counter("boom.attempts").value() >= 1.0
+            assert metrics_mod.get_registry() is sess.registry
+
+
+# ---------------------------------------------------------------------- #
+# Instrumented parallel paths: bitwise determinism pins
+# ---------------------------------------------------------------------- #
+def _eval_problem(n=120, dim=24, seed=11):
+    rng = np.random.default_rng(seed)
+    emb1 = rng.normal(size=(n + 40, dim))
+    emb2 = rng.normal(size=(n + 40, dim))
+    links = [(i, i) for i in range(n)]
+    return emb1, emb2, links
+
+
+class TestShardedEvaluationDeterminism:
+    # Counters/histograms whose totals must be identical serial vs
+    # sharded (timing-valued series are excluded — their *counts* match,
+    # their measured seconds legitimately differ).
+    EXACT_COUNTERS = ("similarity.cosine.calls", "similarity.cosine.cells",
+                      "eval.rankings")
+    EXACT_HISTOGRAM_COUNTS = ("similarity.cosine.seconds",
+                              "eval.ranking_seconds")
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        emb1, emb2, links = _eval_problem()
+        with obs.session(runs_dir=None) as sess:
+            result = evaluate_embeddings(emb1, emb2, links,
+                                         with_stable_matching=True)
+        return result, sess.registry
+
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    def test_metrics_bitwise_equal_to_serial(self, serial, shards):
+        serial_result, _ = serial
+        emb1, emb2, links = _eval_problem()
+        with obs.session(runs_dir=None):
+            result = evaluate_embeddings(emb1, emb2, links,
+                                         with_stable_matching=True,
+                                         shards=shards)
+        assert result.metrics.hits_at_1 == serial_result.metrics.hits_at_1
+        assert result.metrics.hits_at_10 == serial_result.metrics.hits_at_10
+        assert result.metrics.mrr == serial_result.metrics.mrr
+        assert result.stable_hits_at_1 == serial_result.stable_hits_at_1
+
+    @pytest.mark.parametrize("shards", [2, 8])
+    def test_merged_totals_identical_to_serial(self, serial, shards):
+        _, serial_registry = serial
+        emb1, emb2, links = _eval_problem()
+        with obs.session(runs_dir=None) as sess:
+            evaluate_embeddings(emb1, emb2, links, shards=shards)
+        for name in self.EXACT_COUNTERS:
+            assert sess.registry.counter(name).value() == \
+                serial_registry.counter(name).value(), name
+        for name in self.EXACT_HISTOGRAM_COUNTS:
+            assert sess.registry.histogram(name).count() == \
+                serial_registry.histogram(name).count(), name
+        assert sess.registry.gauge("eval.candidate_set_size").value() == \
+            serial_registry.gauge("eval.candidate_set_size").value()
+        assert sess.registry.gauge("eval.hits_at_1").value() == \
+            serial_registry.gauge("eval.hits_at_1").value()
+        # The only sharded-side extra counter is the per-shard row count,
+        # and it covers every row exactly once.
+        extras = set(sess.registry.names()) - set(serial_registry.names())
+        assert extras == {"eval.shard_rows"}
+        assert sess.registry.counter("eval.shard_rows").value() == len(links)
+        assert sess.last_shards["count"] == shards
+
+    def test_sharded_and_serial_trees_share_the_canonical_spans(self):
+        emb1, emb2, links = _eval_problem(n=40)
+        with obs.session(runs_dir=None) as sess:
+            evaluate_embeddings(emb1, emb2, links, shards=4)
+            names = {path[-1] for path, _ in sess.tracer.root.walk()}
+        assert {"evaluate/rank", "fork[evaluate]", "shard[0]", "shard[3]",
+                "evaluate/shard_rank"} <= names
+
+
+class TestShardedSuiteDeterminism:
+    @pytest.mark.parametrize("shards,eval_shards", [(2, 1), (2, 2)])
+    def test_sharded_suite_matches_serial(self, tiny_pair, tiny_split,
+                                          shards, eval_shards):
+        from repro.experiments.runner import run_suite
+
+        methods = ["jape-stru", "gcn"]
+        with obs.session(runs_dir=None):
+            serial = run_suite(methods, tiny_pair, tiny_split)
+        with obs.session(runs_dir=None) as sess:
+            sharded = run_suite(methods, tiny_pair, tiny_split,
+                                shards=shards, eval_shards=eval_shards)
+        assert [r.method for r in sharded] == methods
+        for serial_result, sharded_result in zip(serial, sharded):
+            assert sharded_result.hits_at_1 == serial_result.hits_at_1
+            assert sharded_result.hits_at_10 == serial_result.hits_at_10
+            assert sharded_result.mrr == serial_result.mrr
+        suite_fork = sess.tracer.root.children["fork[suite]"]
+        assert set(suite_fork.children) == {"shard[0]", "shard[1]"}
+
+
+# ---------------------------------------------------------------------- #
+# Surfaces: chrome trace lanes + run-record digest
+# ---------------------------------------------------------------------- #
+class TestChromeTraceShardLanes:
+    @pytest.fixture()
+    def forked_tree(self):
+        with obs.session(runs_dir=None) as sess:
+            with fork_observability(2, label="ev") as fork:
+                for ctx in fork.contexts:
+                    with ctx:
+                        with tracing_mod.get_tracer().span("step"):
+                            time.sleep(0.001)
+        return sess.tracer.to_dict()
+
+    def test_each_shard_gets_its_own_lane(self, forked_tree):
+        events = span_tree_to_events(forked_tree)
+        lanes = {e["name"]: e["tid"] for e in events}
+        assert lanes["shard[0]"] == _SHARD_TID_BASE
+        assert lanes["shard[1]"] == _SHARD_TID_BASE + 1
+        # The forking span itself stays in the default spans lane...
+        assert lanes["fork[ev]"] == lanes["root"]
+        # ...and children inherit their shard's lane.
+        steps = [e for e in events if e["name"] == "step"]
+        assert sorted(e["tid"] for e in steps) == [
+            _SHARD_TID_BASE, _SHARD_TID_BASE + 1]
+
+    def test_build_names_the_shard_lanes(self, forked_tree):
+        doc = build_chrome_trace(span_tree=forked_tree)
+        metas = {e["args"]["name"]: e["tid"] for e in doc["traceEvents"]
+                 if e["ph"] == "M"}
+        assert metas["shard[0]"] == _SHARD_TID_BASE
+        assert metas["shard[1]"] == _SHARD_TID_BASE + 1
+        assert "spans" in metas
+        payload = json.dumps(doc)
+        assert "shard[0]" in payload
+
+
+class TestRunRecordShardDigest:
+    def _record(self, **kwargs):
+        return RunRecord(method="m", dataset="d", timestamp=0.0, **kwargs)
+
+    def test_schema_v3_round_trips_the_digest(self):
+        digest = {"count": 2, "workers": [
+            {"shard": 0, "wall_seconds": 0.5},
+            {"shard": 1, "wall_seconds": 0.25}]}
+        record = self._record(shards=digest)
+        assert record.schema_version == SCHEMA_VERSION >= 3
+        loaded = RunRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        assert loaded.shards == digest
+
+    def test_v2_records_without_shards_still_load(self):
+        data = self._record().to_dict()
+        del data["shards"]
+        data["schema_version"] = 2
+        data["unknown_future_field"] = {"x": 1}  # must be ignored, not fatal
+        loaded = RunRecord.from_dict(data)
+        assert loaded.shards == {}
+        assert loaded.schema_version == 2
+
+    def test_sharded_experiment_lands_the_digest_in_its_record(
+            self, tiny_pair, tiny_split, tmp_path):
+        from repro.experiments.runner import run_experiment
+
+        with obs.session(runs_dir=str(tmp_path)):
+            run_experiment("jape-stru", tiny_pair, tiny_split, eval_shards=2)
+        (path,) = tmp_path.glob("*.json")
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["shards"]["count"] == 2
+        assert [w["shard"] for w in data["shards"]["workers"]] == [0, 1]
+        assert all(w["wall_seconds"] >= 0.0 for w in data["shards"]["workers"])
+
+    def test_serial_experiment_record_has_empty_digest(
+            self, tiny_pair, tiny_split, tmp_path):
+        from repro.experiments.runner import run_experiment
+
+        with obs.session(runs_dir=str(tmp_path)):
+            run_experiment("jape-stru", tiny_pair, tiny_split)
+        (path,) = tmp_path.glob("*.json")
+        assert json.loads(path.read_text())["shards"] == {}
